@@ -1,0 +1,31 @@
+//! # nashdb-baselines
+//!
+//! The comparator systems of the paper's evaluation (§10), implemented from
+//! their descriptions so every experiment pits NashDB against real
+//! competition on the identical simulated substrate:
+//!
+//! * [`dt`] — the *DT* fragmenter: recursive best-split only (split
+//!   procedure of NashDB without merging; CART-style).
+//! * [`naive`] — equal-width fragmentation.
+//! * [`hypergraph`] — SWORD-like: tuples and scans as a hypergraph,
+//!   partitioned to minimize cut (query span), with leftover disk filled by
+//!   span-reducing replicas ("Improved LMBR"); tuned by partition count.
+//! * [`threshold`] — E-Store-like: hot/cold tuple classification with
+//!   frequency-proportional replication over a fixed node count.
+//! * [`routers`] — *Shortest queue* (always the least-loaded replica) and
+//!   *Greedy SC* (span-minimizing greedy set cover).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dt;
+pub mod hypergraph;
+pub mod naive;
+pub mod routers;
+pub mod threshold;
+
+pub use dt::dt_fragmentation;
+pub use hypergraph::{hypergraph_fragmentation, HypergraphDistributor};
+pub use naive::naive_fragmentation;
+pub use routers::{GreedySetCover, ShortestQueue};
+pub use threshold::ThresholdDistributor;

@@ -1,0 +1,26 @@
+//! The *Naive* fragmentation baseline (paper §10.1): equal-size fragments.
+
+use nashdb_core::fragment::Fragmentation;
+
+/// Cuts `table_len` tuples into `count` near-equal fragments.
+pub fn naive_fragmentation(table_len: u64, count: usize) -> Fragmentation {
+    Fragmentation::equal_width(table_len, count.min(table_len as usize).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_widths() {
+        let f = naive_fragmentation(100, 4);
+        assert_eq!(f.len(), 4);
+        assert!(f.ranges().all(|r| r.size() == 25));
+    }
+
+    #[test]
+    fn clamps_count_to_table() {
+        let f = naive_fragmentation(3, 10);
+        assert_eq!(f.len(), 3);
+    }
+}

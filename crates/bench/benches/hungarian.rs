@@ -1,0 +1,49 @@
+//! Criterion bench: the Kuhn–Munkres transition matcher (§7).
+//!
+//! The paper reports standard implementations were "sufficiently fast even
+//! for thousands of nodes"; this bench tracks our O(n³) implementation's
+//! scaling, plus end-to-end transition planning on interval sets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nashdb_core::transition::{hungarian, plan_transition, IntervalSet};
+use nashdb_sim::SimRng;
+
+fn random_matrix(n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect())
+        .collect()
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition/hungarian");
+    for n in [16usize, 64, 128, 256] {
+        let cost = random_matrix(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(hungarian(&cost).1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition/plan");
+    for n in [16usize, 64, 128] {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mk = |rng: &mut SimRng| {
+            IntervalSet::from_intervals((0..8).map(|_| {
+                let a = rng.uniform_u64(0, 100_000_000);
+                (a, a + rng.uniform_u64(1, 2_000_000))
+            }))
+        };
+        let old: Vec<IntervalSet> = (0..n).map(|_| mk(&mut rng)).collect();
+        let new: Vec<IntervalSet> = (0..n + n / 8).map(|_| mk(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(plan_transition(&old, &new).total_transfer))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian, bench_plan_transition);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: BFFD class-constrained bin packing (§6).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nashdb_core::economics::NodeSpec;
+use nashdb_core::fragment::{FragmentRange, FragmentStats};
+use nashdb_core::ids::FragmentId;
+use nashdb_core::replication::{decide_replicas, pack_bffd, ClusterScheme, ReplicationPolicy};
+use nashdb_sim::SimRng;
+
+fn stats(n: usize, seed: u64) -> Vec<FragmentStats> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut pos = 0u64;
+    (0..n)
+        .map(|i| {
+            let len = rng.uniform_u64(100_000, 2_000_000);
+            let s = FragmentStats {
+                id: FragmentId(i as u64),
+                range: FragmentRange::new(pos, pos + len),
+                value: rng.uniform_f64() * 1e-5,
+                error: 0.0,
+            };
+            pos += len;
+            s
+        })
+        .collect()
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/bffd");
+    let spec = NodeSpec::new(50.0, 20_000_000);
+    for n in [64usize, 256, 1024] {
+        let st = stats(n, 17);
+        let policy = ReplicationPolicy::new(50, spec).with_max_replicas(64);
+        let decisions = decide_replicas(&st, &policy);
+        group.bench_with_input(BenchmarkId::new("pack", n), &n, |b, _| {
+            b.iter(|| black_box(pack_bffd(&decisions, spec.disk).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("full_scheme", n), &n, |b, _| {
+            b.iter(|| black_box(ClusterScheme::build(&st, policy).unwrap().num_nodes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: scan routers (§8) on synthetic queue states.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nashdb_baselines::{GreedySetCover, ShortestQueue};
+use nashdb_core::ids::{FragmentId, NodeId};
+use nashdb_core::routing::{FragmentRequest, MaxOfMins, QueueView, ScanRouter};
+use nashdb_sim::SimRng;
+
+fn problem(requests: usize, nodes: usize, replicas: usize, seed: u64) -> (Vec<FragmentRequest>, Vec<u64>) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let reqs = (0..requests)
+        .map(|i| {
+            let mut candidates: Vec<NodeId> = Vec::with_capacity(replicas);
+            while candidates.len() < replicas.min(nodes) {
+                let n = NodeId(rng.uniform_u64(0, nodes as u64));
+                if !candidates.contains(&n) {
+                    candidates.push(n);
+                }
+            }
+            FragmentRequest {
+                fragment: FragmentId(i as u64),
+                size: rng.uniform_u64(100_000, 2_000_000),
+                candidates,
+            }
+        })
+        .collect();
+    let waits = (0..nodes).map(|_| rng.uniform_u64(0, 5_000_000)).collect();
+    (reqs, waits)
+}
+
+fn bench_routers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for (requests, nodes) in [(16usize, 8usize), (64, 32), (256, 64)] {
+        let (reqs, waits) = problem(requests, nodes, 3, 23);
+        let id = format!("{requests}req_{nodes}n");
+        group.bench_with_input(BenchmarkId::new("max_of_mins", &id), &requests, |b, _| {
+            let router = MaxOfMins::new(70_000);
+            b.iter(|| {
+                let mut q = QueueView::from_waits(waits.clone());
+                black_box(router.route(&reqs, &mut q).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shortest_queue", &id), &requests, |b, _| {
+            b.iter(|| {
+                let mut q = QueueView::from_waits(waits.clone());
+                black_box(ShortestQueue.route(&reqs, &mut q).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_sc", &id), &requests, |b, _| {
+            b.iter(|| {
+                let mut q = QueueView::from_waits(waits.clone());
+                black_box(GreedySetCover.route(&reqs, &mut q).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion bench: the value estimation tree (§10.1's overhead claim).
+//!
+//! Compares the paper's AVL tree against the `BTreeMap` reference for scan
+//! insertion (with window eviction) and full value recovery (Algorithm 1)
+//! at several window sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nashdb_core::value::{
+    AvlValueTree, BTreeValueTree, PricedScan, TupleValueEstimator, ValueTreeBackend,
+};
+use nashdb_sim::SimRng;
+
+const TABLE: u64 = 100_000_000;
+
+fn scan_stream(n: usize, seed: u64) -> Vec<PricedScan> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = rng.uniform_u64(0, TABLE - 1);
+            let len = rng.uniform_u64(1, TABLE / 4);
+            PricedScan::new(a, (a + len).min(TABLE), 1.0 + rng.uniform_f64())
+        })
+        .collect()
+}
+
+fn bench_insert_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_tree/insert_evict");
+    for window in [50usize, 200, 1000] {
+        let scans = scan_stream(window * 4, 1);
+        group.bench_with_input(BenchmarkId::new("avl", window), &window, |b, &w| {
+            b.iter(|| {
+                let mut est: TupleValueEstimator<AvlValueTree> =
+                    TupleValueEstimator::with_backend(w);
+                for s in &scans {
+                    est.observe(*s);
+                }
+                black_box(est.tracked_keys())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("btree", window), &window, |b, &w| {
+            b.iter(|| {
+                let mut est: TupleValueEstimator<BTreeValueTree> =
+                    TupleValueEstimator::with_backend(w);
+                for s in &scans {
+                    est.observe(*s);
+                }
+                black_box(est.tracked_keys())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_tree/algorithm1");
+    for window in [50usize, 200, 1000] {
+        let scans = scan_stream(window, 2);
+        let mut avl: TupleValueEstimator<AvlValueTree> = TupleValueEstimator::with_backend(window);
+        let mut bt: TupleValueEstimator<BTreeValueTree> = TupleValueEstimator::with_backend(window);
+        for s in &scans {
+            avl.observe(*s);
+            bt.observe(*s);
+        }
+        group.bench_with_input(BenchmarkId::new("avl", window), &window, |b, _| {
+            b.iter(|| black_box(avl.chunks(TABLE).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("btree", window), &window, |b, _| {
+            b.iter(|| black_box(bt.chunks(TABLE).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_raw_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_tree/raw_add_remove");
+    let scans = scan_stream(512, 3);
+    group.bench_function("avl", |b| {
+        b.iter(|| {
+            let mut t = AvlValueTree::new();
+            for s in &scans {
+                t.add_scan(s);
+            }
+            for s in &scans {
+                t.remove_scan(s);
+            }
+            black_box(t.is_empty())
+        })
+    });
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut t = BTreeValueTree::new();
+            for s in &scans {
+                t.add_scan(s);
+            }
+            for s in &scans {
+                t.remove_scan(s);
+            }
+            black_box(t.is_empty())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_evict, bench_iterate, bench_raw_tree_ops);
+criterion_main!(benches);

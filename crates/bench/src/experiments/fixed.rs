@@ -1,0 +1,184 @@
+//! Fig. 8a/8b, Fig. 9b, Fig. 10 — dynamic-workload comparisons at matched
+//! operating points (paper §10.3).
+//!
+//! The paper tunes each system to an identical average latency and compares
+//! monetary cost (8a) and transition data transfer (9b), then fixes cost
+//! and compares latency (8b) and tail latency (10). We reproduce the
+//! calibration by sweeping each system's knob and selecting the
+//! configuration closest to the NashDB reference point.
+
+use std::sync::OnceLock;
+
+use nashdb_workload::Workload;
+
+use super::{fmt, row, table_header};
+use crate::env::{min_nodes, run_system, ExpEnv, Router, System};
+use crate::header;
+
+/// Summary of one configuration's run.
+#[derive(Debug, Clone)]
+pub struct SysPoint {
+    /// System name.
+    pub system: &'static str,
+    /// Knob value.
+    pub param: f64,
+    /// Mean latency (s).
+    pub latency: f64,
+    /// 95th percentile latency (s).
+    pub p95: f64,
+    /// 99th percentile latency (s).
+    pub p99: f64,
+    /// Total cost (1/100 cent).
+    pub cost: f64,
+    /// Mean tuples transferred per reconfiguration.
+    pub transfer_per_reconfig: f64,
+}
+
+/// Sweep results for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSweep {
+    /// Workload name.
+    pub name: String,
+    /// All swept points, NashDB first.
+    pub points: Vec<SysPoint>,
+}
+
+fn summarize(system: &'static str, param: f64, m: &nashdb_cluster::Metrics) -> SysPoint {
+    let mut m95 = nashdb_sim::stats::Percentiles::new();
+    for q in &m.queries {
+        m95.push(q.latency().as_secs_f64());
+    }
+    SysPoint {
+        system,
+        param,
+        latency: m.mean_latency_secs(),
+        p95: m95.percentile(95.0).unwrap_or(0.0),
+        p99: m95.percentile(99.0).unwrap_or(0.0),
+        cost: m.total_cost,
+        transfer_per_reconfig: m.total_transfer() as f64 / m.reconfigurations.max(1) as f64,
+    }
+}
+
+fn sweep(w: &Workload) -> WorkloadSweep {
+    let env = ExpEnv::for_workload(w, 1.0 / 8.0);
+    let mut points = Vec::new();
+    for price_mult in [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let m = run_system(w, System::NashDb { price_mult }, Router::MaxOfMins, &env);
+        points.push(summarize("NashDB", price_mult, &m));
+    }
+    let floor = min_nodes(w, env.disk);
+    for mult in [1.0, 1.5, 2.0, 3.0, 4.0] {
+        let n = ((floor as f64 * mult) as usize).max(floor);
+        let m = run_system(w, System::Hypergraph { parts: n }, Router::MaxOfMins, &env);
+        points.push(summarize("Hypergraph", n as f64, &m));
+        let m = run_system(w, System::Threshold { nodes: n }, Router::MaxOfMins, &env);
+        points.push(summarize("Threshold", n as f64, &m));
+    }
+    WorkloadSweep {
+        name: w.name.clone(),
+        points,
+    }
+}
+
+/// The three dynamic workloads' sweeps, computed once per process.
+pub fn sweeps() -> &'static [WorkloadSweep] {
+    static CACHE: OnceLock<Vec<WorkloadSweep>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        [
+            super::random_dynamic(),
+            super::real1_dynamic(),
+            super::real2_dynamic(),
+        ]
+        .iter()
+        .map(sweep)
+        .collect()
+    })
+}
+
+/// NashDB's reference point (price multiplier 1.0).
+fn reference(ws: &WorkloadSweep) -> &SysPoint {
+    ws.points
+        .iter()
+        .find(|p| p.system == "NashDB" && (p.param - 1.0).abs() < 1e-9)
+        .expect("reference point swept")
+}
+
+/// The configuration of `system` whose `key` is closest to `target`.
+fn closest<'a>(
+    ws: &'a WorkloadSweep,
+    system: &str,
+    target: f64,
+    key: impl Fn(&SysPoint) -> f64,
+) -> &'a SysPoint {
+    ws.points
+        .iter()
+        .filter(|p| p.system == system)
+        .min_by(|a, b| {
+            (key(a) - target)
+                .abs()
+                .partial_cmp(&(key(b) - target).abs())
+                .expect("finite metrics")
+        })
+        .expect("system swept")
+}
+
+/// Fig. 8a: monetary cost after calibrating every system to NashDB's
+/// average latency.
+pub fn run_fixed_latency() {
+    header("Fig 8a — monetary cost at (approximately) fixed average latency");
+    table_header(&["workload", "system", "lat (s)", "cost"]);
+    for ws in sweeps() {
+        let target = reference(ws).latency;
+        for sys in ["NashDB", "Hypergraph", "Threshold"] {
+            let p = closest(ws, sys, target, |p| p.latency);
+            row(&[ws.name.clone(), sys.into(), fmt(p.latency), fmt(p.cost)]);
+        }
+    }
+    println!("  expectation: NashDB cheapest at matched latency (paper: ~15% under");
+    println!("  Hypergraph on Real data 2).");
+}
+
+/// Fig. 8b: average latency after calibrating every system to NashDB's
+/// cost.
+pub fn run_fixed_cost() {
+    header("Fig 8b — average latency at (approximately) fixed monetary cost");
+    table_header(&["workload", "system", "cost", "lat (s)"]);
+    for ws in sweeps() {
+        let target = reference(ws).cost;
+        for sys in ["NashDB", "Hypergraph", "Threshold"] {
+            let p = closest(ws, sys, target, |p| p.cost);
+            row(&[ws.name.clone(), sys.into(), fmt(p.cost), fmt(p.latency)]);
+        }
+    }
+    println!("  expectation: NashDB 20–50% lower latency at matched cost.");
+}
+
+/// Fig. 9b: data transferred per transition at the fixed-latency operating
+/// points.
+pub fn run_transfer() {
+    header("Fig 9b — data transfer per transition at fixed latency (KB; 1 tuple = 1 KB)");
+    table_header(&["workload", "system", "transfer/reconfig"]);
+    for ws in sweeps() {
+        let target = reference(ws).latency;
+        for sys in ["NashDB", "Hypergraph", "Threshold"] {
+            let p = closest(ws, sys, target, |p| p.latency);
+            row(&[ws.name.clone(), sys.into(), fmt(p.transfer_per_reconfig)]);
+        }
+    }
+    println!("  expectation: NashDB moves the MOST data (it re-optimizes aggressively);");
+    println!("  Hypergraph the least — yet NashDB still wins on cost/latency (Fig 8).");
+}
+
+/// Fig. 10: tail latency at the fixed-cost operating points.
+pub fn run_tail_latency() {
+    header("Fig 10 — 95th/99th percentile latency at fixed cost");
+    table_header(&["workload", "system", "p95 (s)", "p99 (s)"]);
+    for ws in sweeps() {
+        let target = reference(ws).cost;
+        for sys in ["NashDB", "Hypergraph", "Threshold"] {
+            let p = closest(ws, sys, target, |p| p.cost);
+            row(&[ws.name.clone(), sys.into(), fmt(p.p95), fmt(p.p99)]);
+        }
+    }
+    println!("  expectation: NashDB's tails beat both baselines on all three workloads.");
+}

@@ -1,0 +1,109 @@
+//! One module per figure/table of the paper's evaluation.
+
+pub mod ablations;
+pub mod fig6;
+pub mod fixed;
+pub mod overhead;
+pub mod pareto;
+pub mod priority;
+pub mod routing;
+pub mod tab1;
+pub mod throughput;
+
+use nashdb_sim::SimDuration;
+use nashdb_workload::bernoulli::{self, BernoulliConfig};
+use nashdb_workload::random::{self, RandomConfig};
+use nashdb_workload::realistic;
+use nashdb_workload::tpch::{self, TpchConfig};
+use nashdb_workload::Workload;
+
+/// Fixed seed for every experiment (the harness is fully deterministic).
+pub const SEED: u64 = 20180615; // SIGMOD'18, June 15
+
+/// The TPC-H static batch. The paper ran 1 TB on up to 400 EC2 nodes; we
+/// scale to 100 GB on a proportionally smaller simulated cluster (shapes,
+/// not absolute numbers — see EXPERIMENTS.md).
+pub fn tpch_static(price: f64) -> Workload {
+    tpch::workload(&TpchConfig {
+        size_gb: 100,
+        rounds: 3,
+        price,
+        price_overrides: Vec::new(),
+        spacing: SimDuration::from_secs(20),
+        seed: SEED,
+    })
+}
+
+/// TPC-H with one template's price overridden (Fig. 9a).
+pub fn tpch_prioritized(base_price: f64, template: u32, template_price: f64) -> Workload {
+    tpch::workload(&TpchConfig {
+        size_gb: 100,
+        rounds: 8,
+        price: base_price,
+        price_overrides: vec![(template, template_price)],
+        spacing: SimDuration::from_secs(20),
+        seed: SEED,
+    })
+}
+
+/// The Bernoulli static batch (suffix-heavy time-series reads).
+pub fn bernoulli_static(price: f64) -> Workload {
+    bernoulli::workload(&BernoulliConfig {
+        size_gb: 100,
+        queries: 250,
+        price,
+        spacing: SimDuration::from_secs(20),
+        seed: SEED,
+    })
+}
+
+/// The static Real-data-1 analogue (dashboard batch).
+pub fn real1_static() -> Workload {
+    realistic::real1_static(SEED)
+}
+
+/// The dynamic Random workload (72 h of uniform range queries).
+pub fn random_dynamic() -> Workload {
+    random::workload(&RandomConfig {
+        size_gb: 100,
+        queries: 800,
+        duration: SimDuration::from_secs(72 * 3600),
+        price: 1.0,
+        seed: SEED,
+    })
+}
+
+/// The dynamic Real-data-1 analogue (descriptive analytics, 72 h).
+pub fn real1_dynamic() -> Workload {
+    realistic::real1_dynamic(SEED)
+}
+
+/// The dynamic Real-data-2 analogue (predictive analytics, 72 h).
+pub fn real2_dynamic() -> Workload {
+    realistic::real2_dynamic(SEED)
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e6 || (x != 0.0 && x.abs() < 1e-3) {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Prints one row of an aligned table.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("  {}", line.join(" "));
+}
+
+/// Prints a header row followed by a rule.
+pub fn table_header(cells: &[&str]) {
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("  {}", "-".repeat(15 * cells.len()));
+}

@@ -1,0 +1,69 @@
+//! Fig. 11 — throughput over time under NashDB (paper Appendix G.2).
+//!
+//! The point of the figure: hourly cluster transitions barely dent
+//! throughput (the paper reports <5% variation on its steadiest workload,
+//! with transfer overhead orders of magnitude below read throughput).
+
+use nashdb_workload::Workload;
+
+use super::{fmt, row, table_header};
+use crate::env::{run_system, ExpEnv, Router, System};
+use crate::header;
+
+fn one(w: &Workload, warm: bool) {
+    let mut env = ExpEnv::for_workload(w, 1.0 / 8.0);
+    if warm {
+        env = env.warmed(w.queries.len() / 2);
+    }
+    let m = run_system(w, System::NashDb { price_mult: 1.0 }, Router::MaxOfMins, &env);
+
+    // Bucket to ~coarse rows over the active portion of the run.
+    let buckets: Vec<(f64, f64)> = m
+        .read_throughput
+        .buckets()
+        .map(|(t, v)| (t.as_secs_f64() / 60.0, v))
+        .collect();
+    let active_end = buckets
+        .iter()
+        .rposition(|&(_, v)| v > 0.0)
+        .map_or(0, |i| i + 1);
+    let active = &buckets[..active_end];
+    println!();
+    println!(
+        "  workload: {} ({} reconfigurations, {} tuples transferred total)",
+        w.name,
+        m.reconfigurations,
+        m.total_transfer()
+    );
+    table_header(&["minute", "GB read"]);
+    let step = (active.len() / 12).max(1);
+    let mut rows_gb: Vec<f64> = Vec::new();
+    for chunk in active.chunks(step) {
+        let t0 = chunk[0].0;
+        let total: f64 = chunk.iter().map(|&(_, v)| v).sum();
+        rows_gb.push(total / 1e6);
+        row(&[fmt(t0), fmt(total / 1e6)]); // 1e6 tuples = 1 GB
+    }
+    // Variation across the full steady-state rows (drop the final partial
+    // row, where arrivals have already stopped).
+    if rows_gb.len() >= 4 {
+        let steady = &rows_gb[..rows_gb.len() - 1];
+        let min = steady.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = steady.iter().cloned().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            println!("  steady-state variation: {:.1}%", 100.0 * (max - min) / max);
+        }
+    }
+}
+
+/// Runs Fig. 11a–d.
+pub fn run() {
+    header("Fig 11 — throughput over time (NashDB)");
+    one(&super::random_dynamic(), false);
+    one(&super::real1_dynamic(), false);
+    one(&super::real2_dynamic(), false);
+    one(&super::real1_static(), true);
+    println!();
+    println!("  expectation: transition overhead is small relative to read throughput;");
+    println!("  the static batch shows the least variation (no transitions needed).");
+}

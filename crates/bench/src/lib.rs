@@ -1,0 +1,61 @@
+//! # nashdb-bench
+//!
+//! The experiment harness: one module per figure/table of the paper's
+//! evaluation (§10 + appendices), all runnable through the `figures` binary:
+//!
+//! ```text
+//! cargo run -p nashdb-bench --release --bin figures -- all
+//! cargo run -p nashdb-bench --release --bin figures -- fig6a fig8c
+//! ```
+//!
+//! Shared infrastructure lives in [`mod@env`]: per-workload experiment
+//! environments (cluster parameters, NashDB economics autotuned to the
+//! workload's scan sizes) and the system/router sweep helpers every
+//! comparison experiment uses.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod env;
+pub mod experiments;
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "tab1", "fig6a", "fig6b", "fig6c", "fig9a", "fig7", "fig8a", "fig8b", "fig9b", "fig8c",
+    "fig9c", "fig10", "fig11", "overhead", "market", "merge2", "p2c", "hetero",
+];
+
+/// Runs one experiment by id, printing its table(s) to stdout.
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str) {
+    use experiments::*;
+    match id {
+        "tab1" => tab1::run(),
+        "fig6a" => fig6::run_static(),
+        "fig6b" => fig6::run_dynamic(),
+        "fig6c" => priority::run_uniform_price(),
+        "fig9a" => priority::run_template_price(),
+        "fig7" => pareto::run(),
+        "fig8a" => fixed::run_fixed_latency(),
+        "fig8b" => fixed::run_fixed_cost(),
+        "fig9b" => fixed::run_transfer(),
+        "fig8c" => routing::run_latency(),
+        "fig9c" => routing::run_span(),
+        "fig10" => fixed::run_tail_latency(),
+        "fig11" => throughput::run(),
+        "overhead" => overhead::run(),
+        "market" => ablations::run_market(),
+        "merge2" => ablations::run_merge2(),
+        "p2c" => ablations::run_p2c(),
+        "hetero" => ablations::run_hetero(),
+        other => panic!("unknown experiment id {other:?} (see ALL_EXPERIMENTS)"),
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}

@@ -1,0 +1,137 @@
+//! Measurements collected while a simulation runs — the raw material for
+//! every figure in the paper's evaluation (§10).
+
+use nashdb_sim::stats::{Percentiles, TimeSeries};
+use nashdb_sim::{SimDuration, SimTime};
+
+use nashdb_core::ids::QueryId;
+
+/// One completed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// The query.
+    pub id: QueryId,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When its last fragment read finished.
+    pub completion: SimTime,
+    /// Number of distinct nodes that served it (its span).
+    pub span: u32,
+}
+
+impl QueryRecord {
+    /// The query's latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completion.since(self.arrival)
+    }
+}
+
+/// All measurements from one simulation run.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Per-query records in completion order.
+    pub queries: Vec<QueryRecord>,
+    /// Tuples of query reads completed, bucketed by completion time (the
+    /// paper's throughput-over-time, Fig. 11).
+    pub read_throughput: TimeSeries,
+    /// Tuples copied by reconfigurations, with the time each transfer batch
+    /// was initiated (Fig. 9b).
+    pub transfers: Vec<(SimTime, u64)>,
+    /// Total monetary cost accrued so far, in 1/100 cent (node-hours ×
+    /// hourly rate). Finalized by the simulator at end of run.
+    pub total_cost: f64,
+    /// Number of reconfigurations applied.
+    pub reconfigurations: u64,
+    /// Largest active node count seen over the run.
+    pub peak_nodes: usize,
+    /// Per retired node: fraction of its provisioned lifetime its disk was
+    /// busy (pushed when the node retires or the run ends).
+    pub node_utilization: Vec<f64>,
+}
+
+impl Metrics {
+    /// Empty metrics with the given throughput bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        Metrics {
+            queries: Vec::new(),
+            read_throughput: TimeSeries::new(bucket),
+            transfers: Vec::new(),
+            total_cost: 0.0,
+            reconfigurations: 0,
+            peak_nodes: 0,
+            node_utilization: Vec::new(),
+        }
+    }
+
+    /// Mean query latency in seconds (0 if no queries completed).
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries
+            .iter()
+            .map(|q| q.latency().as_secs_f64())
+            .sum::<f64>()
+            / self.queries.len() as f64
+    }
+
+    /// Latency percentile in seconds (`None` if no queries completed).
+    pub fn latency_percentile_secs(&self, p: f64) -> Option<f64> {
+        let mut ps = Percentiles::new();
+        for q in &self.queries {
+            ps.push(q.latency().as_secs_f64());
+        }
+        ps.percentile(p)
+    }
+
+    /// Mean query span.
+    pub fn mean_span(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.span as f64).sum::<f64>() / self.queries.len() as f64
+    }
+
+    /// Total tuples moved by all reconfigurations.
+    pub fn total_transfer(&self) -> u64 {
+        self.transfers.iter().map(|(_, t)| t).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_aggregates() {
+        let mut m = Metrics::new(SimDuration::from_secs(60));
+        for (i, lat_ms) in [100u64, 200, 300, 400].iter().enumerate() {
+            m.queries.push(QueryRecord {
+                id: QueryId(i as u64),
+                arrival: SimTime::from_secs(0),
+                completion: SimTime::ZERO + SimDuration::from_millis(*lat_ms),
+                span: (i as u32 % 2) + 1,
+            });
+        }
+        assert!((m.mean_latency_secs() - 0.25).abs() < 1e-9);
+        assert!((m.latency_percentile_secs(100.0).unwrap() - 0.4).abs() < 1e-9);
+        assert!((m.mean_span() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(SimDuration::from_secs(60));
+        assert_eq!(m.mean_latency_secs(), 0.0);
+        assert_eq!(m.latency_percentile_secs(99.0), None);
+        assert_eq!(m.total_transfer(), 0);
+        assert_eq!(m.mean_span(), 0.0);
+    }
+
+    #[test]
+    fn transfer_totals() {
+        let mut m = Metrics::new(SimDuration::from_secs(60));
+        m.transfers.push((SimTime::from_secs(10), 100));
+        m.transfers.push((SimTime::from_secs(20), 50));
+        assert_eq!(m.total_transfer(), 150);
+    }
+}

@@ -1,0 +1,246 @@
+//! Prefix statistics over value chunks (paper §5.2).
+//!
+//! The fragment error (unnormalized variance, Eq. 4) of any tuple range can
+//! be computed in `O(log m)` from prefix sums of `V(x)` and `V(x)²` over the
+//! `m` chunks of the piecewise-constant value function — the constant-time
+//! array lookup of the paper, plus a binary search because our "array" is
+//! compressed into runs.
+
+use crate::value::Chunk;
+
+/// Prefix sums of `V(x)` and `V(x)²` over a chunked value function.
+#[derive(Debug, Clone)]
+pub struct ChunkPrefix {
+    /// Chunk boundaries: `bounds[0] = 0`, `bounds[m] = table_len`.
+    bounds: Vec<u64>,
+    /// Per-chunk value (length `m`).
+    values: Vec<f64>,
+    /// `s[i]` = Σ V(x) for tuples before `bounds[i]`.
+    s: Vec<f64>,
+    /// `s2[i]` = Σ V(x)² for tuples before `bounds[i]`.
+    s2: Vec<f64>,
+}
+
+impl ChunkPrefix {
+    /// Builds prefix statistics from contiguous chunks covering
+    /// `[0, table_len)`.
+    ///
+    /// # Panics
+    /// Panics if the chunks are empty, do not start at zero, or are not
+    /// contiguous.
+    pub fn new(chunks: &[Chunk]) -> Self {
+        assert!(!chunks.is_empty(), "cannot build prefix over no chunks");
+        assert_eq!(chunks[0].start, 0, "chunks must start at tuple 0");
+        let m = chunks.len();
+        let mut bounds = Vec::with_capacity(m + 1);
+        let mut values = Vec::with_capacity(m);
+        let mut s = Vec::with_capacity(m + 1);
+        let mut s2 = Vec::with_capacity(m + 1);
+        bounds.push(0);
+        s.push(0.0);
+        s2.push(0.0);
+        let mut acc = 0.0;
+        let mut acc2 = 0.0;
+        let mut prev_end = 0;
+        for c in chunks {
+            assert_eq!(c.start, prev_end, "chunks must be contiguous");
+            assert!(c.end > c.start, "empty chunk");
+            prev_end = c.end;
+            acc += c.sum();
+            acc2 += c.sum_sq();
+            bounds.push(c.end);
+            values.push(c.value);
+            s.push(acc);
+            s2.push(acc2);
+        }
+        ChunkPrefix {
+            bounds,
+            values,
+            s,
+            s2,
+        }
+    }
+
+    /// Total number of tuples covered.
+    pub fn table_len(&self) -> u64 {
+        *self.bounds.last().expect("nonempty by construction")
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The chunk boundaries (candidate fragment cut points), including 0 and
+    /// `table_len`.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Index of the chunk containing tuple `x`.
+    ///
+    /// # Panics
+    /// Panics if `x >= table_len`.
+    pub fn chunk_of(&self, x: u64) -> usize {
+        assert!(x < self.table_len(), "tuple {x} out of range");
+        // partition_point gives the first bound > x; the chunk is one before.
+        self.bounds.partition_point(|&b| b <= x) - 1
+    }
+
+    /// Σ V(x) over tuple range `[a, b)`.
+    pub fn sum(&self, a: u64, b: u64) -> f64 {
+        self.cum(&self.s, b, 1) - self.cum(&self.s, a, 1)
+    }
+
+    /// Σ V(x)² over tuple range `[a, b)`.
+    pub fn sum_sq(&self, a: u64, b: u64) -> f64 {
+        self.cum(&self.s2, b, 2) - self.cum(&self.s2, a, 2)
+    }
+
+    /// Fragment error (paper Eq. 4 via Eq. 6, with the `1/Size` that the
+    /// paper's printed Eq. 6 drops — see DESIGN.md): the unnormalized
+    /// variance of `V(x)` over `[a, b)`. Clamped at zero against float
+    /// residue.
+    ///
+    /// # Panics
+    /// Panics if `a >= b` or the range exceeds the table.
+    pub fn error(&self, a: u64, b: u64) -> f64 {
+        assert!(a < b, "empty fragment {a}..{b}");
+        assert!(b <= self.table_len(), "fragment {a}..{b} beyond table");
+        let sum = self.sum(a, b);
+        let sum_sq = self.sum_sq(a, b);
+        (sum_sq - sum * sum / (b - a) as f64).max(0.0)
+    }
+
+    /// Cumulative Σ V^`power` for tuples before index `x` (which may be
+    /// `table_len`), handling a partial final chunk.
+    fn cum(&self, prefix: &[f64], x: u64, power: u32) -> f64 {
+        if x == 0 {
+            return 0.0;
+        }
+        if x >= self.table_len() {
+            return *prefix.last().expect("nonempty");
+        }
+        let idx = self.chunk_of(x);
+        let v = self.values[idx];
+        let partial = (x - self.bounds[idx]) as f64 * v.powi(power as i32);
+        prefix[idx] + partial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks() -> Vec<Chunk> {
+        vec![
+            Chunk {
+                start: 0,
+                end: 4,
+                value: 1.0,
+            },
+            Chunk {
+                start: 4,
+                end: 10,
+                value: 3.0,
+            },
+            Chunk {
+                start: 10,
+                end: 12,
+                value: 0.0,
+            },
+        ]
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn sums_match_direct() {
+        let p = ChunkPrefix::new(&chunks());
+        assert_eq!(p.table_len(), 12);
+        assert_eq!(p.num_chunks(), 3);
+        assert_close(p.sum(0, 12), 4.0 + 18.0);
+        assert_close(p.sum(2, 6), 2.0 + 6.0);
+        assert_close(p.sum_sq(2, 6), 2.0 + 18.0);
+        assert_close(p.sum(10, 12), 0.0);
+        assert_close(p.sum(5, 5), 0.0);
+    }
+
+    #[test]
+    fn chunk_of_boundaries() {
+        let p = ChunkPrefix::new(&chunks());
+        assert_eq!(p.chunk_of(0), 0);
+        assert_eq!(p.chunk_of(3), 0);
+        assert_eq!(p.chunk_of(4), 1);
+        assert_eq!(p.chunk_of(11), 2);
+    }
+
+    #[test]
+    fn error_of_constant_range_is_zero() {
+        let p = ChunkPrefix::new(&chunks());
+        assert_close(p.error(0, 4), 0.0);
+        assert_close(p.error(4, 10), 0.0);
+        assert_close(p.error(5, 9), 0.0);
+    }
+
+    #[test]
+    fn error_matches_direct_variance() {
+        let p = ChunkPrefix::new(&chunks());
+        // Range 2..6: values [1,1,3,3]; mean 2; sum sq dev = 4.
+        assert_close(p.error(2, 6), 4.0);
+        // Whole table: values [1×4, 3×6, 0×2]; mean 22/12.
+        let mean: f64 = 22.0 / 12.0;
+        let direct = 4.0 * (1.0 - mean).powi(2) + 6.0 * (3.0 - mean).powi(2) + 2.0 * mean * mean;
+        assert_close(p.error(0, 12), direct);
+    }
+
+    #[test]
+    fn error_is_never_negative() {
+        // A constant function whose float sums could leave tiny residue.
+        let c = vec![Chunk {
+            start: 0,
+            end: 1000,
+            value: 0.1,
+        }];
+        let p = ChunkPrefix::new(&c);
+        for a in (0..900).step_by(97) {
+            assert!(p.error(a, a + 100) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gap_in_chunks_rejected() {
+        let _ = ChunkPrefix::new(&[
+            Chunk {
+                start: 0,
+                end: 4,
+                value: 1.0,
+            },
+            Chunk {
+                start: 5,
+                end: 9,
+                value: 1.0,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at tuple 0")]
+    fn offset_chunks_rejected() {
+        let _ = ChunkPrefix::new(&[Chunk {
+            start: 1,
+            end: 4,
+            value: 1.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fragment")]
+    fn empty_error_range_rejected() {
+        let p = ChunkPrefix::new(&chunks());
+        let _ = p.error(5, 5);
+    }
+}

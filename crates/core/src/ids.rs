@@ -1,0 +1,94 @@
+//! Strongly-typed identifiers.
+//!
+//! Tuple indices, fragment ids, node ids, and query ids are all "just
+//! integers"; newtypes keep them from being confused for one another at
+//! compile time and document units at API boundaries.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw integer value.
+            pub const fn get(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A tuple's index in the physical ordering of its table (paper §2: the
+    /// `Start`/`End` values of a scan refer to these indices).
+    TupleIndex,
+    "t"
+);
+
+id_newtype!(
+    /// Identifies a fragment within a fragmentation scheme. Ids are assigned
+    /// in physical order (fragment 0 holds the lowest tuple indices).
+    FragmentId,
+    "f"
+);
+
+id_newtype!(
+    /// Identifies a cluster node.
+    NodeId,
+    "n"
+);
+
+id_newtype!(
+    /// Identifies a query (a priced set of range scans).
+    QueryId,
+    "q"
+);
+
+id_newtype!(
+    /// Identifies a table. NashDB fragments each table independently.
+    TableId,
+    "tbl"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(format!("{}", FragmentId(3)), "f3");
+        assert_eq!(format!("{}", NodeId(0)), "n0");
+        assert_eq!(format!("{}", QueryId(12)), "q12");
+        assert_eq!(format!("{}", TableId(1)), "tbl1");
+        assert_eq!(format!("{}", TupleIndex(9)), "t9");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id: NodeId = 7u64.into();
+        assert_eq!(id.get(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(FragmentId(1) < FragmentId(2));
+        let mut v = vec![NodeId(3), NodeId(1), NodeId(2)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Market-simulation replication, Mariposa-style (paper §6 and §9).
+//!
+//! Mariposa reaches balanced replication by *simulating* the market: nodes
+//! repeatedly make myopic best responses (add the most profitable replica,
+//! drop an unprofitable one, enter when entry pays, exit when empty) until
+//! nothing wants to move. The paper's §6 argues this is NashDB's key
+//! advantage in reverse: "Mariposa directly simulates a marketplace,
+//! creating overhead while slowly driving the system towards equilibrium.
+//! NashDB computes this equilibrium directly."
+//!
+//! This module implements the best-response dynamic so the claim can be
+//! *measured*: the `market` experiment in `nashdb-bench` compares the
+//! simulation's rounds/actions against the closed form (Eq. 9), and the
+//! tests prove both land on the same replica counts for every profitable
+//! fragment — while the market, unlike NashDB, simply drops fragments
+//! worth less than their storage (availability is not a market good).
+
+use super::{replica_profit, ReplicationPolicy};
+use crate::fragment::FragmentStats;
+
+/// Knobs for the best-response dynamic.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketConfig {
+    /// Give up after this many rounds without convergence.
+    pub max_rounds: u64,
+    /// Myopic firms act one replica at a time; a round visits every node
+    /// once. `actions_per_round` bounds how many deviations a single node
+    /// may make per visit (Mariposa trades one fragment per bid cycle).
+    pub actions_per_round: u32,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            max_rounds: 100_000,
+            actions_per_round: 1,
+        }
+    }
+}
+
+/// What the simulated market converged to.
+#[derive(Debug, Clone)]
+pub struct MarketOutcome {
+    /// Final replica count per input fragment (same order as the stats).
+    pub replicas: Vec<u64>,
+    /// Rounds until no firm wanted to deviate (or the cap).
+    pub rounds: u64,
+    /// Total unilateral deviations (adds + drops + entries + exits) taken.
+    pub actions: u64,
+    /// True iff a full round passed with no deviation.
+    pub converged: bool,
+    /// Fragments the market refuses to host at all (`Ideal = 0`): unlike
+    /// NashDB, a pure market provides no availability floor.
+    pub unhosted: Vec<usize>,
+}
+
+/// Runs myopic best-response dynamics to (approximate) equilibrium.
+///
+/// Firms are implicit: the state is the replica count per fragment, and in
+/// each round every fragment's marginal holder considers dropping (profit
+/// at the current count < 0) while every outside firm considers adding
+/// (profit at count + 1 > 0). Disk capacity is respected in aggregate
+/// (replicas of one fragment need distinct nodes, so counts are implicitly
+/// bounded by firms, which are free to enter — as in the paper's model).
+pub fn simulate_market(
+    stats: &[FragmentStats],
+    policy: &ReplicationPolicy,
+    cfg: MarketConfig,
+) -> MarketOutcome {
+    let mut replicas: Vec<u64> = vec![0; stats.len()];
+    let mut actions = 0u64;
+    let mut rounds = 0u64;
+    let mut converged = false;
+
+    while rounds < cfg.max_rounds {
+        rounds += 1;
+        let mut acted = false;
+        for (i, s) in stats.iter().enumerate() {
+            for _ in 0..cfg.actions_per_round {
+                let r = replicas[i];
+                // Drop: the marginal replica loses money.
+                if r > 0
+                    && replica_profit(policy.window, s.value, r, s.range.size(), &policy.spec)
+                        < 0.0
+                {
+                    replicas[i] = r - 1;
+                    actions += 1;
+                    acted = true;
+                    continue;
+                }
+                // Add/entry: one more replica would still profit.
+                if r < policy.max_replicas_per_fragment
+                    && replica_profit(
+                        policy.window,
+                        s.value,
+                        r + 1,
+                        s.range.size(),
+                        &policy.spec,
+                    ) >= 0.0
+                {
+                    replicas[i] = r + 1;
+                    actions += 1;
+                    acted = true;
+                    continue;
+                }
+                break;
+            }
+        }
+        if !acted {
+            converged = true;
+            break;
+        }
+    }
+
+    let unhosted = replicas
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &r)| (r == 0).then_some(i))
+        .collect();
+    MarketOutcome {
+        replicas,
+        rounds,
+        actions,
+        converged,
+        unhosted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::economics::NodeSpec;
+    use crate::fragment::FragmentRange;
+    use crate::ids::FragmentId;
+    use crate::replication::ideal_replicas;
+
+    fn stats(values: &[(u64, f64)]) -> Vec<FragmentStats> {
+        let mut pos = 0;
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, value))| {
+                let s = FragmentStats {
+                    id: FragmentId(i as u64),
+                    range: FragmentRange::new(pos, pos + size),
+                    value,
+                    error: 0.0,
+                };
+                pos += size;
+                s
+            })
+            .collect()
+    }
+
+    fn policy() -> ReplicationPolicy {
+        ReplicationPolicy::new(50, NodeSpec::new(100.0, 1_000)).with_max_replicas(1_000)
+    }
+
+    #[test]
+    fn market_converges_to_the_closed_form() {
+        let st = stats(&[(250, 1.0), (100, 5.0), (500, 0.2), (50, 0.01)]);
+        let p = policy();
+        let out = simulate_market(&st, &p, MarketConfig::default());
+        assert!(out.converged);
+        for (s, &r) in st.iter().zip(&out.replicas) {
+            let ideal = ideal_replicas(p.window, s.value, s.range.size(), &p.spec);
+            assert_eq!(r, ideal, "fragment {} market {} vs ideal {}", s.id, r, ideal);
+        }
+    }
+
+    #[test]
+    fn market_drops_unprofitable_fragments_entirely() {
+        let st = stats(&[(900, 0.0001)]);
+        let out = simulate_market(&st, &policy(), MarketConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.replicas[0], 0);
+        assert_eq!(out.unhosted, vec![0]);
+    }
+
+    #[test]
+    fn rounds_scale_with_the_largest_count() {
+        // One replica per fragment per round: reaching Ideal = k takes ~k
+        // rounds — the "slowly driving towards equilibrium" the paper
+        // criticizes. NashDB's closed form is one division.
+        let st = stats(&[(10, 50.0)]);
+        let p = policy();
+        let ideal = ideal_replicas(p.window, 50.0, 10, &p.spec);
+        assert!(ideal > 100, "test wants a hot fragment, ideal {ideal}");
+        let out = simulate_market(&st, &p, MarketConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.replicas[0], ideal.min(1_000));
+        assert!(
+            out.rounds >= ideal.min(1_000),
+            "rounds {} < ideal {}",
+            out.rounds,
+            ideal
+        );
+    }
+
+    #[test]
+    fn round_cap_reports_non_convergence() {
+        let st = stats(&[(10, 50.0)]);
+        let out = simulate_market(
+            &st,
+            &policy(),
+            MarketConfig {
+                max_rounds: 3,
+                actions_per_round: 1,
+            },
+        );
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.replicas[0], 3);
+    }
+
+    #[test]
+    fn batched_actions_converge_faster_to_the_same_point() {
+        let st = stats(&[(10, 50.0), (300, 0.8)]);
+        let p = policy();
+        let slow = simulate_market(&st, &p, MarketConfig::default());
+        let fast = simulate_market(
+            &st,
+            &p,
+            MarketConfig {
+                max_rounds: 100_000,
+                actions_per_round: 64,
+            },
+        );
+        assert!(slow.converged && fast.converged);
+        assert_eq!(slow.replicas, fast.replicas);
+        assert!(fast.rounds <= slow.rounds);
+    }
+}

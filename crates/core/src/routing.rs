@@ -1,0 +1,440 @@
+//! Routing data access requests (paper §8).
+//!
+//! When a query's range scan is decomposed into fragment read requests, the
+//! scan router picks which replica serves each request. Two pure strategies
+//! exist in prior work: minimize *query span* (use as few nodes as
+//! possible) or minimize *wait time* (always read from the shortest queue).
+//! NashDB's **Max-of-mins** balances them: a node not yet serving this query
+//! is charged a span penalty `ϕ`, and requests are scheduled
+//! bottleneck-first — the request whose best achievable wait is *largest*
+//! is placed first, on the node where its wait is smallest (Eq. 11).
+//!
+//! Waits are expressed in tuples of queued work (disk reads dominate OLAP
+//! scan latency and read time is proportional to tuples, §8); the cluster
+//! layer converts its time-based queue lengths and the paper's ϕ = 350 ms
+//! into tuple units via node throughput.
+
+use std::collections::HashSet;
+
+use crate::ids::{FragmentId, NodeId};
+
+/// One fragment read request of a single range scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentRequest {
+    /// The fragment to read.
+    pub fragment: FragmentId,
+    /// Tuples to read (the fragment size).
+    pub size: u64,
+    /// Nodes hosting a replica of the fragment. Must be nonempty.
+    pub candidates: Vec<NodeId>,
+}
+
+/// A routing decision: which node serves which fragment request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The fragment read.
+    pub fragment: FragmentId,
+    /// The chosen replica's node.
+    pub node: NodeId,
+}
+
+/// A mutable view of per-node queued work, in tuples.
+///
+/// Routers read waits and push their own assignments so that consecutive
+/// requests of the same scan see each other's load.
+#[derive(Debug, Clone)]
+pub struct QueueView {
+    waits: Vec<u64>,
+}
+
+impl QueueView {
+    /// All queues empty across `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        QueueView {
+            waits: vec![0; nodes],
+        }
+    }
+
+    /// Adopts externally observed waits (tuples of queued work per node).
+    pub fn from_waits(waits: Vec<u64>) -> Self {
+        QueueView { waits }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.waits.len()
+    }
+
+    /// True iff there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.waits.is_empty()
+    }
+
+    /// Queued tuples on `node`.
+    pub fn wait(&self, node: NodeId) -> u64 {
+        self.waits[node.get() as usize]
+    }
+
+    /// Adds `size` tuples of work to `node`'s queue.
+    pub fn enqueue(&mut self, node: NodeId, size: u64) {
+        self.waits[node.get() as usize] += size;
+    }
+}
+
+/// A scan-routing strategy.
+pub trait ScanRouter {
+    /// Routes every request of one scan, updating `queues` with the work it
+    /// places. Implementations must assign each request to one of its
+    /// candidates.
+    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment>;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Number of distinct nodes used — the query's *span*.
+pub fn span(assignments: &[Assignment]) -> usize {
+    assignments
+        .iter()
+        .map(|a| a.node)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+/// The paper's Max-of-mins router (Eq. 11).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxOfMins {
+    /// Span penalty ϕ in tuple units: the wait-equivalent cost of touching
+    /// a node this query is not already using.
+    pub phi: u64,
+}
+
+impl MaxOfMins {
+    /// Creates the router with span penalty `phi` (tuples).
+    pub fn new(phi: u64) -> Self {
+        MaxOfMins { phi }
+    }
+}
+
+impl ScanRouter for MaxOfMins {
+    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
+        let mut remaining: Vec<&FragmentRequest> = requests.iter().collect();
+        let mut chosen: HashSet<NodeId> = HashSet::new();
+        let mut out = Vec::with_capacity(requests.len());
+
+        while !remaining.is_empty() {
+            // For each pending request, its best effective wait and the node
+            // achieving it; then schedule the *worst best* (the bottleneck).
+            let mut pick: Option<(usize, NodeId, u64)> = None; // (idx, node, eff wait)
+            for (idx, req) in remaining.iter().enumerate() {
+                assert!(
+                    !req.candidates.is_empty(),
+                    "fragment {} has no replicas to read",
+                    req.fragment
+                );
+                let (node, eff) = req
+                    .candidates
+                    .iter()
+                    .map(|&n| {
+                        let penalty = if chosen.contains(&n) { 0 } else { self.phi };
+                        (n, queues.wait(n).saturating_add(penalty))
+                    })
+                    .min_by_key(|&(n, eff)| (eff, n))
+                    .expect("nonempty candidates");
+                let better = match pick {
+                    None => true,
+                    // Strict max; ties broken toward larger reads first,
+                    // then fragment id, for determinism.
+                    Some((pidx, _, peff)) => {
+                        let (ps, pf) = (remaining[pidx].size, remaining[pidx].fragment);
+                        (eff, req.size, std::cmp::Reverse(req.fragment))
+                            > (peff, ps, std::cmp::Reverse(pf))
+                    }
+                };
+                if better {
+                    pick = Some((idx, node, eff));
+                }
+            }
+            let (idx, node, _) = pick.expect("remaining nonempty");
+            let req = remaining.swap_remove(idx);
+            queues.enqueue(node, req.size);
+            chosen.insert(node);
+            out.push(Assignment {
+                fragment: req.fragment,
+                node,
+            });
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "max-of-mins"
+    }
+}
+
+/// The "Power of 2" variant the paper sketches in footnote 3 for workloads
+/// of *small* scans: instead of examining every replica of every request,
+/// consider only two randomly chosen candidates per request and take the
+/// better under the Eq. 11 objective. O(R) per scan instead of O(R²·C),
+/// trading a little routing quality for constant-time decisions.
+///
+/// Randomness is a deterministic splitmix64 stream seeded at construction,
+/// so simulations stay reproducible.
+#[derive(Debug)]
+pub struct PowerOfTwoChoices {
+    /// Span penalty ϕ in tuple units (as in [`MaxOfMins`]).
+    pub phi: u64,
+    state: std::sync::Mutex<u64>,
+}
+
+impl PowerOfTwoChoices {
+    /// Creates the router with span penalty `phi` and an RNG seed.
+    pub fn new(phi: u64, seed: u64) -> Self {
+        PowerOfTwoChoices {
+            phi,
+            state: std::sync::Mutex::new(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next(&self) -> u64 {
+        let mut s = self.state.lock().expect("router RNG poisoned");
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl ScanRouter for PowerOfTwoChoices {
+    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
+        let mut chosen: HashSet<NodeId> = HashSet::new();
+        requests
+            .iter()
+            .map(|req| {
+                assert!(
+                    !req.candidates.is_empty(),
+                    "fragment {} has no replicas to read",
+                    req.fragment
+                );
+                let pair: [NodeId; 2] = if req.candidates.len() <= 2 {
+                    [
+                        req.candidates[0],
+                        *req.candidates.last().expect("nonempty"),
+                    ]
+                } else {
+                    let a = (self.next() % req.candidates.len() as u64) as usize;
+                    let mut b = (self.next() % (req.candidates.len() - 1) as u64) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    [req.candidates[a], req.candidates[b]]
+                };
+                let node = pair
+                    .into_iter()
+                    .min_by_key(|&n| {
+                        let penalty = if chosen.contains(&n) { 0 } else { self.phi };
+                        (queues.wait(n).saturating_add(penalty), n)
+                    })
+                    .expect("two candidates");
+                queues.enqueue(node, req.size);
+                chosen.insert(node);
+                Assignment {
+                    fragment: req.fragment,
+                    node,
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(frag: u64, size: u64, candidates: &[u64]) -> FragmentRequest {
+        FragmentRequest {
+            fragment: FragmentId(frag),
+            size,
+            candidates: candidates.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    fn node_of(assignments: &[Assignment], frag: u64) -> NodeId {
+        assignments
+            .iter()
+            .find(|a| a.fragment == FragmentId(frag))
+            .expect("assigned")
+            .node
+    }
+
+    #[test]
+    fn single_candidate_is_forced() {
+        let router = MaxOfMins::new(100);
+        let mut q = QueueView::new(2);
+        let out = router.route(&[req(0, 50, &[1])], &mut q);
+        assert_eq!(out, vec![Assignment {
+            fragment: FragmentId(0),
+            node: NodeId(1)
+        }]);
+        assert_eq!(q.wait(NodeId(1)), 50);
+        assert_eq!(q.wait(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn span_penalty_consolidates_small_reads() {
+        // Two small fragments, both replicated on both idle nodes. With a
+        // large ϕ the second read should join the first node rather than
+        // fan out.
+        let router = MaxOfMins::new(1_000);
+        let mut q = QueueView::new(2);
+        let out = router.route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 1])], &mut q);
+        assert_eq!(span(&out), 1);
+    }
+
+    #[test]
+    fn zero_penalty_spreads_load() {
+        let router = MaxOfMins::new(0);
+        let mut q = QueueView::new(2);
+        let out = router.route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 1])], &mut q);
+        assert_eq!(span(&out), 2);
+    }
+
+    #[test]
+    fn widens_span_when_beneficial() {
+        // A huge read occupies node 0; a second huge read should pay ϕ and
+        // go to node 1 rather than queue behind it.
+        let router = MaxOfMins::new(50);
+        let mut q = QueueView::new(2);
+        let out = router.route(
+            &[req(0, 1_000, &[0, 1]), req(1, 1_000, &[0, 1])],
+            &mut q,
+        );
+        assert_eq!(span(&out), 2);
+        assert_ne!(node_of(&out, 0), node_of(&out, 1));
+    }
+
+    #[test]
+    fn bottleneck_scheduled_first_onto_short_queue() {
+        // Fragment 0 can only be read from the busy node 0; fragment 1 can
+        // be read anywhere. The bottleneck (fragment 0) must be placed
+        // first, and fragment 1 should then avoid stacking behind it.
+        let router = MaxOfMins::new(0);
+        let mut q = QueueView::from_waits(vec![500, 0]);
+        let out = router.route(&[req(1, 10, &[0, 1]), req(0, 10, &[0])], &mut q);
+        assert_eq!(node_of(&out, 0), NodeId(0));
+        assert_eq!(node_of(&out, 1), NodeId(1));
+        // Bottleneck-first: fragment 0 appears before fragment 1.
+        assert_eq!(out[0].fragment, FragmentId(0));
+    }
+
+    #[test]
+    fn accounts_for_own_placements() {
+        // Three equal reads over two idle nodes with no penalty: the third
+        // read must see the first two queued and pick the emptier node.
+        let router = MaxOfMins::new(0);
+        let mut q = QueueView::new(2);
+        let out = router.route(
+            &[req(0, 100, &[0, 1]), req(1, 100, &[0, 1]), req(2, 100, &[0, 1])],
+            &mut q,
+        );
+        let w0 = q.wait(NodeId(0));
+        let w1 = q.wait(NodeId(1));
+        assert_eq!(w0 + w1, 300);
+        assert!(w0.abs_diff(w1) == 100, "unbalanced: {w0} vs {w1}");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn empty_candidates_panics() {
+        let router = MaxOfMins::new(0);
+        let mut q = QueueView::new(1);
+        let _ = router.route(
+            &[FragmentRequest {
+                fragment: FragmentId(0),
+                size: 1,
+                candidates: vec![],
+            }],
+            &mut q,
+        );
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let router = MaxOfMins::new(10);
+        for _ in 0..4 {
+            let mut q1 = QueueView::new(3);
+            let mut q2 = QueueView::new(3);
+            let reqs = vec![
+                req(0, 10, &[0, 1, 2]),
+                req(1, 10, &[0, 1, 2]),
+                req(2, 10, &[0, 1, 2]),
+            ];
+            assert_eq!(router.route(&reqs, &mut q1), router.route(&reqs, &mut q2));
+        }
+    }
+
+    #[test]
+    fn power_of_two_routes_every_request_to_a_candidate() {
+        let router = PowerOfTwoChoices::new(100, 7);
+        let mut q = QueueView::new(8);
+        let reqs: Vec<FragmentRequest> = (0..32)
+            .map(|i| req(i, 50, &[i % 8, (i + 3) % 8, (i + 5) % 8]))
+            .collect();
+        let out = router.route(&reqs, &mut q);
+        assert_eq!(out.len(), 32);
+        for (a, r) in out.iter().zip(&reqs) {
+            assert!(r.candidates.contains(&a.node));
+        }
+        // All placed work is accounted.
+        let total: u64 = (0..8).map(|n| q.wait(NodeId(n))).sum();
+        assert_eq!(total, 32 * 50);
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_per_seed() {
+        let reqs: Vec<FragmentRequest> =
+            (0..16).map(|i| req(i, 10, &[0, 1, 2, 3, 4])).collect();
+        let route_with = |seed: u64| {
+            let router = PowerOfTwoChoices::new(0, seed);
+            let mut q = QueueView::new(5);
+            router.route(&reqs, &mut q)
+        };
+        assert_eq!(route_with(1), route_with(1));
+        assert_ne!(route_with(1), route_with(2));
+    }
+
+    #[test]
+    fn power_of_two_prefers_the_shorter_of_its_pair() {
+        let router = PowerOfTwoChoices::new(0, 3);
+        let mut q = QueueView::from_waits(vec![1_000_000, 0]);
+        // Only two candidates: the pair is forced, so it must pick node 1.
+        let out = router.route(&[req(0, 10, &[0, 1])], &mut q);
+        assert_eq!(out[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn span_helper_counts_distinct_nodes() {
+        let a = [
+            Assignment {
+                fragment: FragmentId(0),
+                node: NodeId(0),
+            },
+            Assignment {
+                fragment: FragmentId(1),
+                node: NodeId(0),
+            },
+            Assignment {
+                fragment: FragmentId(2),
+                node: NodeId(2),
+            },
+        ];
+        assert_eq!(span(&a), 2);
+        assert_eq!(span(&[]), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Sets of tuple indices represented as sorted disjoint half-open intervals.
+//!
+//! Transition planning (paper §7) needs `|Data(m′) − Data(m)|`: the number
+//! of tuples a node must receive that it does not already store. Fragments
+//! are contiguous tuple ranges, so a node's data is a union of intervals and
+//! the set difference is cheap interval algebra.
+
+/// A set of tuple indices as sorted, disjoint, non-adjacent half-open
+/// intervals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    /// Sorted, disjoint, non-touching `(start, end)` pairs.
+    runs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// intervals; empty intervals are ignored.
+    pub fn from_intervals<I: IntoIterator<Item = (u64, u64)>>(intervals: I) -> Self {
+        let mut runs: Vec<(u64, u64)> = intervals.into_iter().filter(|(s, e)| s < e).collect();
+        runs.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+        for (s, e) in runs {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    *last_end = (*last_end).max(e);
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        IntervalSet { runs: merged }
+    }
+
+    /// The underlying runs.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Total number of tuples in the set.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// True iff `x` is in the set.
+    pub fn contains(&self, x: u64) -> bool {
+        self.runs
+            .binary_search_by(|&(s, e)| {
+                if x < s {
+                    std::cmp::Ordering::Greater
+                } else if x >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of tuples in `self` but not in `other` — the paper's
+    /// `|Data(self) − Data(other)|`, the tuples that must be copied to turn
+    /// a node holding `other` into one holding `self`.
+    pub fn difference_len(&self, other: &IntervalSet) -> u64 {
+        self.len() - self.intersection_len(other)
+    }
+
+    /// Number of tuples in both sets.
+    pub fn intersection_len(&self, other: &IntervalSet) -> u64 {
+        let mut total = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a_s, a_e) = self.runs[i];
+            let (b_s, b_e) = other.runs[j];
+            let lo = a_s.max(b_s);
+            let hi = a_e.min(b_e);
+            if lo < hi {
+                total += hi - lo;
+            }
+            if a_e <= b_e {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+
+    /// The union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(
+            self.runs.iter().chain(other.runs.iter()).copied(),
+        )
+    }
+}
+
+impl FromIterator<(u64, u64)> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_overlaps_and_adjacency() {
+        let s = IntervalSet::from_intervals([(5, 10), (0, 3), (3, 6), (20, 25), (24, 30)]);
+        assert_eq!(s.runs(), &[(0, 10), (20, 30)]);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn drops_empty_intervals() {
+        let s = IntervalSet::from_intervals([(5, 5), (7, 6)]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn contains_checks_runs() {
+        let s = IntervalSet::from_intervals([(0, 10), (20, 30)]);
+        assert!(s.contains(0));
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+        assert!(!s.contains(15));
+        assert!(s.contains(20));
+        assert!(!s.contains(30));
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let a = IntervalSet::from_intervals([(0, 10), (20, 30)]);
+        let b = IntervalSet::from_intervals([(5, 25)]);
+        assert_eq!(a.intersection_len(&b), 5 + 5);
+        assert_eq!(a.difference_len(&b), 10);
+        assert_eq!(b.difference_len(&a), 10);
+        assert_eq!(a.difference_len(&a), 0);
+    }
+
+    #[test]
+    fn difference_against_empty() {
+        let a = IntervalSet::from_intervals([(0, 10)]);
+        let e = IntervalSet::new();
+        assert_eq!(a.difference_len(&e), 10);
+        assert_eq!(e.difference_len(&a), 0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = IntervalSet::from_intervals([(0, 10)]);
+        let b = IntervalSet::from_intervals([(5, 15), (20, 22)]);
+        let u = a.union(&b);
+        assert_eq!(u.runs(), &[(0, 15), (20, 22)]);
+    }
+
+    /// The paper's Fig. 5 example: old node {(30,50)} -> new node {(20,35),
+    /// (35,55)} requires copying 20-30 and 50-55 = 15 tuples.
+    #[test]
+    fn figure5_edge_weight() {
+        let old = IntervalSet::from_intervals([(30, 50)]);
+        let new = IntervalSet::from_intervals([(20, 35), (35, 55)]);
+        assert_eq!(new.difference_len(&old), 15);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: IntervalSet = [(0u64, 5u64), (10, 12)].into_iter().collect();
+        assert_eq!(s.len(), 7);
+    }
+}

@@ -1,0 +1,113 @@
+//! A `BTreeMap`-backed reference implementation of the value estimation
+//! tree, used for differential testing of the AVL implementation and as the
+//! baseline in the `value_tree` criterion bench.
+//!
+//! Semantically identical to [`AvlValueTree`](super::tree::AvlValueTree):
+//! same keys, same deltas, same deletion rule (a key is dropped only when no
+//! windowed scan starts or ends there).
+
+use std::collections::BTreeMap;
+
+use super::tree::Endpoint;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    delta: f64,
+    start_count: u32,
+    end_count: u32,
+}
+
+/// Reference value tree on `std::collections::BTreeMap`.
+#[derive(Debug, Default)]
+pub struct BTreeValueTree {
+    map: BTreeMap<u64, Entry>,
+}
+
+impl BTreeValueTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no scans are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub(crate) fn add(&mut self, key: u64, weight: f64, endpoint: Endpoint) {
+        let e = self.map.entry(key).or_default();
+        match endpoint {
+            Endpoint::Start => {
+                e.delta += weight;
+                e.start_count += 1;
+            }
+            Endpoint::End => {
+                e.delta -= weight;
+                e.end_count += 1;
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, key: u64, weight: f64, endpoint: Endpoint) {
+        let e = self
+            .map
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("removing a scan endpoint at untracked key {key}"));
+        match endpoint {
+            Endpoint::Start => {
+                assert!(e.start_count > 0, "no scan starts at key {key}");
+                e.delta -= weight;
+                e.start_count -= 1;
+            }
+            Endpoint::End => {
+                assert!(e.end_count > 0, "no scan ends at key {key}");
+                e.delta += weight;
+                e.end_count -= 1;
+            }
+        }
+        if e.start_count == 0 && e.end_count == 0 {
+            self.map.remove(&key);
+        }
+    }
+
+    /// In-order `(key, ∆)` pairs.
+    pub fn deltas(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.map.iter().map(|(&k, e)| (k, e.delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_basic_semantics() {
+        let mut t = BTreeValueTree::new();
+        t.add(0, 1.0, Endpoint::Start);
+        t.add(10, 1.0, Endpoint::End);
+        t.add(0, 0.5, Endpoint::Start);
+        t.add(5, 0.5, Endpoint::End);
+        assert_eq!(t.len(), 3);
+        let d: Vec<_> = t.deltas().collect();
+        assert_eq!(d[0].0, 0);
+        assert!((d[0].1 - 1.5).abs() < 1e-12);
+        t.remove(0, 1.0, Endpoint::Start);
+        t.remove(10, 1.0, Endpoint::End);
+        assert_eq!(t.len(), 2);
+        t.remove(0, 0.5, Endpoint::Start);
+        t.remove(5, 0.5, Endpoint::End);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked key")]
+    fn remove_unknown_panics() {
+        let mut t = BTreeValueTree::new();
+        t.remove(1, 1.0, Endpoint::Start);
+    }
+}

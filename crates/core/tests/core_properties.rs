@@ -1,0 +1,168 @@
+//! Property tests over `nashdb-core` invariants not covered by the
+//! workspace-level suite: AVL structural health under churn, error-function
+//! agreement with direct computation, FindSplit ≡ the chunk-restricted
+//! search, heterogeneous ≡ homogeneous replication on uniform classes, and
+//! market dynamics ≡ the closed form.
+
+use proptest::prelude::*;
+
+use nashdb_core::economics::NodeSpec;
+use nashdb_core::fragment::{find_split, ChunkPrefix, FragmentRange, FragmentStats};
+use nashdb_core::ids::FragmentId;
+use nashdb_core::replication::hetero::{ideal_replicas_hetero, NodeClass};
+use nashdb_core::replication::market::{simulate_market, MarketConfig};
+use nashdb_core::replication::{ideal_replicas, ReplicationPolicy};
+use nashdb_core::value::{Chunk, PricedScan, TupleValueEstimator};
+
+const TABLE: u64 = 5_000;
+
+fn arb_scans() -> impl Strategy<Value = Vec<PricedScan>> {
+    proptest::collection::vec(
+        (0..TABLE - 1, 1..TABLE / 2, 0.01f64..5.0),
+        1..60,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(s, l, p)| PricedScan::new(s, (s + l).min(TABLE), p))
+            .collect()
+    })
+}
+
+fn arb_chunks() -> impl Strategy<Value = Vec<Chunk>> {
+    proptest::collection::vec((1u64..40, 0.0f64..4.0), 1..12).prop_map(|parts| {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        for (len, value) in parts {
+            out.push(Chunk {
+                start: pos,
+                end: pos + len,
+                value,
+            });
+            pos += len;
+        }
+        out
+    })
+}
+
+proptest! {
+    /// The estimator's value function always integrates to the window's
+    /// mean query price, and per-tuple values stay within the maximum
+    /// possible scan weight.
+    #[test]
+    fn estimator_values_are_bounded(scans in arb_scans(), window in 1usize..24) {
+        let mut est = TupleValueEstimator::new(window);
+        let mut recent: Vec<PricedScan> = Vec::new();
+        for s in &scans {
+            est.observe(*s);
+            recent.push(*s);
+            if recent.len() > window {
+                recent.remove(0);
+            }
+        }
+        let max_weight = recent.iter().map(|s| s.weight()).fold(0.0, f64::max);
+        for c in est.chunks(TABLE) {
+            // No tuple can be worth more than the sum of all windowed
+            // weights / |W|... a simpler sound bound: |W| × max weight.
+            prop_assert!(c.value <= max_weight * recent.len() as f64 + 1e-9);
+            prop_assert!(c.value >= 0.0);
+        }
+    }
+
+    /// ChunkPrefix::error equals the direct unnormalized variance computed
+    /// tuple by tuple.
+    #[test]
+    fn error_matches_direct_variance(chunks in arb_chunks()) {
+        let prefix = ChunkPrefix::new(&chunks);
+        let table = prefix.table_len();
+        // Expand V(x) per tuple (tables here are tiny).
+        let mut v = Vec::with_capacity(table as usize);
+        for c in &chunks {
+            for _ in c.start..c.end {
+                v.push(c.value);
+            }
+        }
+        // A handful of ranges.
+        for (a, b) in [(0, table), (0, table.div_ceil(2)), (table / 3, table)] {
+            if a >= b {
+                continue;
+            }
+            let xs = &v[a as usize..b as usize];
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let direct: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+            let fast = prefix.error(a, b);
+            prop_assert!(
+                (fast - direct).abs() < 1e-6 * (1.0 + direct),
+                "range {a}..{b}: fast {fast} vs direct {direct}"
+            );
+        }
+    }
+
+    /// Algorithm 2 over all tuples never beats (and never loses to) the
+    /// chunk-boundary-restricted split the production code uses.
+    #[test]
+    fn findsplit_equals_boundary_search(chunks in arb_chunks()) {
+        let prefix = ChunkPrefix::new(&chunks);
+        let table = prefix.table_len();
+        if table < 2 {
+            return Ok(());
+        }
+        let literal = find_split(&chunks, 0, table).expect("table >= 2");
+        let boundary = chunks[..chunks.len().saturating_sub(1)]
+            .iter()
+            .map(|c| prefix.error(0, c.end) + prefix.error(c.end, table))
+            .fold(f64::INFINITY, f64::min);
+        if boundary.is_finite() {
+            prop_assert!((literal.error - boundary).abs() < 1e-6 * (1.0 + boundary));
+        } else {
+            // Single chunk: any interior point splits a constant run.
+            prop_assert!(literal.error < 1e-9);
+        }
+    }
+
+    /// One uniform node class makes the heterogeneous sweep collapse to
+    /// Eq. 9 for any inputs.
+    #[test]
+    fn hetero_collapses_to_eq9(
+        value in 0.0f64..20.0,
+        size in 1u64..5_000,
+        cost in 0.1f64..500.0,
+        disk_mult in 1u64..20,
+    ) {
+        let disk = size * disk_mult;
+        let spec = NodeSpec::new(cost, disk);
+        let total: u64 = ideal_replicas_hetero(50, value, size, &[NodeClass::unbounded(spec)])
+            .iter()
+            .sum();
+        prop_assert_eq!(total, ideal_replicas(50, value, size, &spec));
+    }
+
+    /// Best-response dynamics always converge to the closed form.
+    #[test]
+    fn market_always_matches_closed_form(
+        frags in proptest::collection::vec((1u64..2_000, 0.0f64..10.0), 1..20),
+    ) {
+        let mut pos = 0u64;
+        let stats: Vec<FragmentStats> = frags
+            .into_iter()
+            .enumerate()
+            .map(|(i, (size, value))| {
+                let s = FragmentStats {
+                    id: FragmentId(i as u64),
+                    range: FragmentRange::new(pos, pos + size),
+                    value,
+                    error: 0.0,
+                };
+                pos += size;
+                s
+            })
+            .collect();
+        let policy = ReplicationPolicy::new(50, NodeSpec::new(40.0, 4_000))
+            .with_max_replicas(500);
+        let out = simulate_market(&stats, &policy, MarketConfig::default());
+        prop_assert!(out.converged);
+        for (s, &r) in stats.iter().zip(&out.replicas) {
+            let ideal = ideal_replicas(50, s.value, s.range.size(), &policy.spec).min(500);
+            prop_assert_eq!(r, ideal, "fragment {}", s.id);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The experiment driver: plays a workload against a simulated cluster,
+//! with any distribution system and any scan router.
+
+use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, Metrics};
+use nashdb_core::ids::NodeId;
+use nashdb_core::routing::{QueueView, ScanRouter};
+use nashdb_core::transition::plan_transition;
+use nashdb_sim::{SimDuration, SimTime};
+use nashdb_workload::Workload;
+
+use crate::scheme::Distributor;
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Cluster simulator parameters.
+    pub cluster: ClusterConfig,
+    /// Reconfiguration interval (the paper transitions hourly).
+    pub reconfig_interval: SimDuration,
+    /// Max-of-mins span penalty ϕ as a duration (the paper measures
+    /// ϕ = 350 ms on AWS); converted to tuples via node throughput by
+    /// [`RunConfig::phi_tuples`].
+    pub phi: SimDuration,
+    /// Prime the distributor with the statistics of the first N queries
+    /// before computing the initial scheme. Static batch workloads re-run a
+    /// fixed panel of queries, so the paper's measurements are of a system
+    /// already warmed to the panel; this reproduces that steady state
+    /// without waiting out a reconfiguration interval. Zero = cold start.
+    pub warmup_queries: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cluster: ClusterConfig::default(),
+            reconfig_interval: SimDuration::from_secs(3600),
+            phi: SimDuration::from_millis(350),
+            warmup_queries: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// ϕ expressed in tuples of queued work at this cluster's throughput.
+    pub fn phi_tuples(&self) -> u64 {
+        (self.phi.as_secs_f64() * self.cluster.throughput_tps) as u64
+    }
+}
+
+/// Runs `workload` end to end: the distributor computes an initial scheme at
+/// time zero, observes every arriving query, and is asked for a fresh scheme
+/// at every reconfiguration interval; transitions are planned with the
+/// Hungarian matcher and applied to the cluster (their transfer time and
+/// cost are borne by the simulation, as in the paper's measurements).
+///
+/// Returns the run's [`Metrics`].
+pub fn run_workload(
+    workload: &Workload,
+    distributor: &mut dyn Distributor,
+    router: &dyn ScanRouter,
+    cfg: &RunConfig,
+) -> Metrics {
+    let mut sim = ClusterSim::new(cfg.cluster);
+    for tq in &workload.queries {
+        sim.schedule_query(tq.at, tq.query.clone());
+    }
+    // Reconfiguration timers through the last arrival.
+    if let Some(last) = workload.queries.last().map(|q| q.at) {
+        let mut t = SimTime::ZERO + cfg.reconfig_interval;
+        while t <= last {
+            sim.schedule_wakeup(t, 0);
+            t += cfg.reconfig_interval;
+        }
+    }
+
+    // Optional warmup, then provision the initial scheme.
+    for tq in workload.queries.iter().take(cfg.warmup_queries) {
+        distributor.observe(&tq.query);
+    }
+    let mut scheme = distributor.scheme();
+    let mut intervals = scheme.node_intervals(&workload.db);
+    sim.reconfigure(&plan_transition(&[], &intervals));
+
+    let phi = cfg.phi_tuples();
+    loop {
+        match sim.next_event() {
+            DriverEvent::QueryArrived { id, query } => {
+                distributor.observe(&query);
+                let requests = scheme.requests_for_query(&query);
+                let sizes: Vec<u64> = requests.iter().map(|r| r.size).collect();
+                let mut queues = QueueView::from_waits(sim.queue_waits());
+                let assignments = router.route(&requests, &mut queues);
+                let reads: Vec<(NodeId, u64)> = assignments
+                    .iter()
+                    .map(|a| {
+                        let idx = requests
+                            .iter()
+                            .position(|r| r.fragment == a.fragment)
+                            .expect("router assigned an unknown fragment");
+                        (a.node, sizes[idx])
+                    })
+                    .collect();
+                sim.dispatch(id, &reads);
+            }
+            DriverEvent::Wakeup { .. } => {
+                let new_scheme = distributor.scheme();
+                let new_intervals = new_scheme.node_intervals(&workload.db);
+                sim.reconfigure(&plan_transition(&intervals, &new_intervals));
+                scheme = new_scheme;
+                intervals = new_intervals;
+            }
+            DriverEvent::QueryCompleted { .. } => {}
+            DriverEvent::Finished => break,
+        }
+    }
+    // ϕ is only used through phi_tuples — quiet the unused warning path
+    // when a router ignores it.
+    let _ = phi;
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributor::{NashDbConfig, NashDbDistributor};
+    use nashdb_core::economics::NodeSpec;
+    use nashdb_core::routing::MaxOfMins;
+    use nashdb_workload::bernoulli::{workload as bernoulli, BernoulliConfig};
+    use nashdb_workload::random::{workload as random, RandomConfig};
+
+    fn fast_cluster() -> ClusterConfig {
+        ClusterConfig {
+            throughput_tps: 1_000_000.0,
+            node_cost_per_hour: 100.0,
+            metrics_bucket: SimDuration::from_secs(600),
+        }
+    }
+
+    fn nash_cfg() -> NashDbConfig {
+        NashDbConfig {
+            spec: NodeSpec::new(100.0, 2_000_000),
+            max_frags_per_table: 16,
+            ..NashDbConfig::default()
+        }
+    }
+
+    #[test]
+    fn bernoulli_end_to_end_completes_every_query() {
+        let w = bernoulli(&BernoulliConfig {
+            size_gb: 4,
+            queries: 80,
+            ..BernoulliConfig::default()
+        });
+        let run = RunConfig {
+            cluster: fast_cluster(),
+            ..RunConfig::default()
+        };
+        let mut nash = NashDbDistributor::new(&w.db, nash_cfg());
+        let m = run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run);
+        assert_eq!(m.queries.len(), 80);
+        assert!(m.mean_latency_secs() > 0.0);
+        assert!(m.total_cost > 0.0);
+    }
+
+    #[test]
+    fn dynamic_run_reconfigures_on_interval() {
+        let w = random(&RandomConfig {
+            size_gb: 4,
+            queries: 60,
+            duration: SimDuration::from_secs(4 * 3600),
+            ..RandomConfig::default()
+        });
+        let run = RunConfig {
+            cluster: fast_cluster(),
+            reconfig_interval: SimDuration::from_secs(3600),
+            ..RunConfig::default()
+        };
+        let mut nash = NashDbDistributor::new(&w.db, nash_cfg());
+        let m = run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run);
+        // Initial provision + at least 3 hourly reconfigurations.
+        assert!(m.reconfigurations >= 4, "only {} reconfigs", m.reconfigurations);
+        assert_eq!(m.queries.len(), 60);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = bernoulli(&BernoulliConfig {
+            size_gb: 2,
+            queries: 40,
+            ..BernoulliConfig::default()
+        });
+        let run = RunConfig {
+            cluster: fast_cluster(),
+            ..RunConfig::default()
+        };
+        let go = || {
+            let mut nash = NashDbDistributor::new(&w.db, nash_cfg());
+            run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run)
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.queries, b.queries);
+        assert!((a.total_cost - b.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_price_lowers_latency_at_higher_cost() {
+        // The paper's Fig. 6c mechanism: raising every query's price adds
+        // replicas and nodes, trading money for latency.
+        let run = RunConfig {
+            cluster: fast_cluster(),
+            warmup_queries: 60,
+            ..RunConfig::default()
+        };
+        let go = |price: f64| {
+            let w = bernoulli(&BernoulliConfig {
+                size_gb: 4,
+                queries: 120,
+                price,
+                ..BernoulliConfig::default()
+            });
+            let mut nash = NashDbDistributor::new(&w.db, nash_cfg());
+            run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run)
+        };
+        let cheap = go(1.0);
+        let pricey = go(16.0);
+        assert!(
+            pricey.mean_latency_secs() < cheap.mean_latency_secs(),
+            "latency: pricey {} vs cheap {}",
+            pricey.mean_latency_secs(),
+            cheap.mean_latency_secs()
+        );
+        // Higher prices buy a bigger cluster. (Total cost can still fall —
+        // the faster cluster drains the batch sooner, ending node rental
+        // earlier — so the robust check is the provisioning decision.)
+        assert!(
+            pricey.peak_nodes > cheap.peak_nodes,
+            "nodes: pricey {} vs cheap {}",
+            pricey.peak_nodes,
+            cheap.peak_nodes
+        );
+    }
+}

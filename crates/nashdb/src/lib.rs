@@ -1,0 +1,50 @@
+//! # nashdb
+//!
+//! The end-to-end NashDB system (paper Fig. 1), assembled from the
+//! `nashdb-core` algorithms and run against the `nashdb-cluster` simulated
+//! elastic cluster:
+//!
+//! ```text
+//! queries ──► tuple value estimator ──► fragmentation manager
+//!                                             │
+//!                                             ▼
+//!          scan router ◄── cluster ◄── replication manager
+//!                           ▲   (BFFD packing = provisioning)
+//!                           └── transition planner (Hungarian)
+//! ```
+//!
+//! The crate exposes:
+//! * [`Distributor`] — the interface every *system* under evaluation
+//!   implements (NashDB itself plus the Hypergraph/Threshold baselines in
+//!   `nashdb-baselines`): observe queries, emit a [`DistScheme`] when asked,
+//! * [`NashDbDistributor`] — NashDB proper,
+//! * [`run_workload`] — the experiment driver: plays a workload into a
+//!   simulated cluster, routing scans with any [`ScanRouter`] and
+//!   reconfiguring on a fixed interval with minimum-transfer transitions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nashdb::{run_workload, NashDbConfig, NashDbDistributor, RunConfig};
+//! use nashdb_core::routing::MaxOfMins;
+//! use nashdb_workload::bernoulli::{workload, BernoulliConfig};
+//!
+//! let w = workload(&BernoulliConfig { size_gb: 2, queries: 60, ..Default::default() });
+//! let mut nash = NashDbDistributor::new(&w.db, NashDbConfig::default());
+//! let run = RunConfig::default();
+//! let metrics = run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run);
+//! assert_eq!(metrics.queries.len(), 60);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod distributor;
+mod driver;
+mod scheme;
+
+pub use distributor::{NashDbConfig, NashDbDistributor};
+pub use driver::{run_workload, RunConfig};
+pub use scheme::{DistScheme, Distributor, GlobalFragment};
+
+pub use nashdb_core::routing::{MaxOfMins, ScanRouter};

@@ -1,0 +1,350 @@
+//! Distribution schemes and the system-under-evaluation interface.
+
+use std::collections::HashMap;
+
+use nashdb_cluster::{QueryRequest, ScanRange};
+use nashdb_core::fragment::FragmentRange;
+use nashdb_core::ids::{FragmentId, NodeId, TableId};
+use nashdb_core::routing::FragmentRequest;
+use nashdb_core::transition::IntervalSet;
+use nashdb_workload::Database;
+
+/// A fragment identified across all tables of the database: its table plus
+/// its tuple range within that table. A scheme's fragments are indexed
+/// densely; the index doubles as the routing-level [`FragmentId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalFragment {
+    /// The owning table.
+    pub table: TableId,
+    /// Tuple range within the table.
+    pub range: FragmentRange,
+}
+
+/// A complete data distribution: every fragment of every table, and which
+/// node hosts which replicas. This is what each *system* (NashDB or a
+/// baseline) hands the driver at every reconfiguration.
+#[derive(Debug, Clone)]
+pub struct DistScheme {
+    fragments: Vec<GlobalFragment>,
+    /// Per node, indices into `fragments`.
+    nodes: Vec<Vec<usize>>,
+    /// Per fragment, its hosting nodes.
+    hosts: Vec<Vec<NodeId>>,
+    /// Per table, fragment indices sorted by range start (for scan lookup).
+    by_table: HashMap<TableId, Vec<usize>>,
+}
+
+impl DistScheme {
+    /// Builds and validates a scheme.
+    ///
+    /// # Panics
+    /// Panics if a fragment is hosted nowhere, a node hosts the same
+    /// fragment twice, or a table's fragments overlap.
+    pub fn new(fragments: Vec<GlobalFragment>, nodes: Vec<Vec<usize>>) -> Self {
+        let mut hosts: Vec<Vec<NodeId>> = vec![Vec::new(); fragments.len()];
+        for (n, frags) in nodes.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &f in frags {
+                assert!(f < fragments.len(), "node {n} hosts unknown fragment {f}");
+                assert!(seen.insert(f), "node {n} hosts fragment {f} twice");
+                hosts[f].push(NodeId(n as u64));
+            }
+        }
+        for (f, h) in hosts.iter().enumerate() {
+            assert!(!h.is_empty(), "fragment {f} has no replicas");
+        }
+        let mut by_table: HashMap<TableId, Vec<usize>> = HashMap::new();
+        for (i, gf) in fragments.iter().enumerate() {
+            by_table.entry(gf.table).or_default().push(i);
+        }
+        for (table, idxs) in by_table.iter_mut() {
+            idxs.sort_by_key(|&i| fragments[i].range.start);
+            for w in idxs.windows(2) {
+                assert!(
+                    fragments[w[0]].range.end <= fragments[w[1]].range.start,
+                    "fragments of table {table} overlap"
+                );
+            }
+        }
+        DistScheme {
+            fragments,
+            nodes,
+            hosts,
+            by_table,
+        }
+    }
+
+    /// Number of nodes the scheme provisions.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All fragments, by dense index.
+    pub fn fragments(&self) -> &[GlobalFragment] {
+        &self.fragments
+    }
+
+    /// Total replicas across the scheme.
+    pub fn total_replicas(&self) -> usize {
+        self.nodes.iter().map(Vec::len).sum()
+    }
+
+    /// The nodes hosting fragment index `f`.
+    pub fn hosts(&self, f: usize) -> &[NodeId] {
+        &self.hosts[f]
+    }
+
+    /// The fragment read requests a scan decomposes into: one request per
+    /// overlapped fragment, each reading the scan's overlap with the
+    /// fragment (rounded up to a whole fragment only when the fragment is
+    /// smaller — the paper's fragments are disk-block sized, so its
+    /// whole-block fetches equal the overlap at block granularity; our
+    /// fragments can be much larger than a block and charging the full
+    /// fragment would bill a sliver scan for megabytes it never reads).
+    ///
+    /// # Panics
+    /// Panics if part of the scanned range is not covered by any fragment —
+    /// a scheme must cover every tuple a query can touch.
+    pub fn requests_for_scan(&self, scan: &ScanRange) -> Vec<FragmentRequest> {
+        let idxs = self
+            .by_table
+            .get(&scan.table)
+            .unwrap_or_else(|| panic!("no fragments for table {}", scan.table));
+        let mut out = Vec::new();
+        let mut covered = scan.start;
+        let first = idxs.partition_point(|&i| self.fragments[i].range.end <= scan.start);
+        for &i in &idxs[first..] {
+            let r = self.fragments[i].range;
+            if r.start >= scan.end {
+                break;
+            }
+            assert!(
+                r.start <= covered,
+                "scan {}..{} of table {} hits a fragmentation gap at {covered}",
+                scan.start,
+                scan.end,
+                scan.table
+            );
+            covered = r.end;
+            out.push(FragmentRequest {
+                fragment: FragmentId(i as u64),
+                size: r.overlap(scan.start, scan.end),
+                candidates: self.hosts[i].to_vec(),
+            });
+        }
+        assert!(
+            covered >= scan.end,
+            "scan {}..{} of table {} extends past the fragmented region ({covered})",
+            scan.start,
+            scan.end,
+            scan.table
+        );
+        out
+    }
+
+    /// All fragment requests for a query, deduplicated: two scans touching
+    /// the same fragment issue one request whose size is the summed overlap
+    /// (capped at the fragment size — overlapping scans do not re-read).
+    pub fn requests_for_query(&self, query: &QueryRequest) -> Vec<FragmentRequest> {
+        let mut index: HashMap<FragmentId, usize> = HashMap::new();
+        let mut out: Vec<FragmentRequest> = Vec::new();
+        for scan in &query.scans {
+            for req in self.requests_for_scan(scan) {
+                match index.get(&req.fragment) {
+                    Some(&i) => {
+                        let cap = self.fragments[req.fragment.get() as usize].range.size();
+                        out[i].size = (out[i].size + req.size).min(cap);
+                    }
+                    None => {
+                        index.insert(req.fragment, out.len());
+                        out.push(req);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-node tuple interval sets in *global* coordinates (tables laid out
+    /// end to end), the representation transition planning consumes.
+    pub fn node_intervals(&self, db: &Database) -> Vec<IntervalSet> {
+        let offsets = table_offsets(db);
+        self.nodes
+            .iter()
+            .map(|frags| {
+                frags
+                    .iter()
+                    .map(|&f| {
+                        let gf = &self.fragments[f];
+                        let off = offsets[gf.table.get() as usize];
+                        (off + gf.range.start, off + gf.range.end)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Checks that every tuple of every table is covered by some fragment.
+    pub fn covers(&self, db: &Database) -> bool {
+        db.tables.iter().all(|t| {
+            let Some(idxs) = self.by_table.get(&t.id) else {
+                return false;
+            };
+            let mut covered = 0;
+            for &i in idxs {
+                let r = self.fragments[i].range;
+                if r.start > covered {
+                    return false;
+                }
+                covered = covered.max(r.end);
+            }
+            covered >= t.tuples
+        })
+    }
+}
+
+/// Global tuple offset of each table (tables laid out end to end).
+pub(crate) fn table_offsets(db: &Database) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(db.tables.len());
+    let mut acc = 0;
+    for t in &db.tables {
+        offsets.push(acc);
+        acc += t.tuples;
+    }
+    offsets
+}
+
+/// A system under evaluation: it watches the query stream and produces a
+/// distribution scheme on demand.
+pub trait Distributor {
+    /// Folds one arrived query into the system's statistics.
+    fn observe(&mut self, query: &QueryRequest);
+
+    /// Computes the distribution scheme the system currently wants.
+    fn scheme(&mut self) -> DistScheme;
+
+    /// Name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_db() -> Database {
+        Database::new([("a", 100), ("b", 50)])
+    }
+
+    fn gf(table: u64, start: u64, end: u64) -> GlobalFragment {
+        GlobalFragment {
+            table: TableId(table),
+            range: FragmentRange::new(start, end),
+        }
+    }
+
+    fn scheme() -> DistScheme {
+        // Table a: [0,60) f0, [60,100) f1. Table b: [0,50) f2.
+        DistScheme::new(
+            vec![gf(0, 0, 60), gf(0, 60, 100), gf(1, 0, 50)],
+            vec![vec![0, 2], vec![1, 0]],
+        )
+    }
+
+    #[test]
+    fn hosts_are_collected() {
+        let s = scheme();
+        assert_eq!(s.hosts(0), &[NodeId(0), NodeId(1)]);
+        assert_eq!(s.hosts(1), &[NodeId(1)]);
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.total_replicas(), 4);
+    }
+
+    #[test]
+    fn scan_decomposes_into_overlaps() {
+        let s = scheme();
+        let reqs = s.requests_for_scan(&ScanRange::new(TableId(0), 50, 70));
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].fragment, FragmentId(0));
+        assert_eq!(reqs[0].size, 10); // overlap with [0, 60)
+        assert_eq!(reqs[1].fragment, FragmentId(1));
+        assert_eq!(reqs[1].size, 10); // overlap with [60, 100)
+    }
+
+    #[test]
+    fn query_overlaps_accumulate_and_cap() {
+        let s = scheme();
+        let q = QueryRequest {
+            price: 1.0,
+            scans: vec![
+                ScanRange::new(TableId(0), 0, 30),
+                ScanRange::new(TableId(0), 10, 60), // overlaps the first scan
+            ],
+            tag: 0,
+        };
+        let reqs = s.requests_for_query(&q);
+        assert_eq!(reqs.len(), 1);
+        // 30 + 50 = 80 summed overlap, capped at fragment size 60.
+        assert_eq!(reqs[0].size, 60);
+    }
+
+    #[test]
+    fn query_requests_deduplicate() {
+        let s = scheme();
+        let q = QueryRequest {
+            price: 1.0,
+            scans: vec![
+                ScanRange::new(TableId(0), 0, 10),
+                ScanRange::new(TableId(0), 20, 30),
+                ScanRange::new(TableId(1), 0, 5),
+            ],
+            tag: 0,
+        };
+        let reqs = s.requests_for_query(&q);
+        // Both table-a scans hit fragment 0; it is fetched once.
+        assert_eq!(reqs.len(), 2);
+    }
+
+    #[test]
+    fn node_intervals_use_global_offsets() {
+        let s = scheme();
+        let db = two_table_db();
+        let iv = s.node_intervals(&db);
+        // Node 0 holds a[0,60) and b[0,50) -> global [0,60) and [100,150).
+        assert_eq!(iv[0].runs(), &[(0, 60), (100, 150)]);
+        // Node 1 holds a[60,100) and a[0,60) -> merged [0,100).
+        assert_eq!(iv[1].runs(), &[(0, 100)]);
+    }
+
+    #[test]
+    fn coverage_check() {
+        let db = two_table_db();
+        assert!(scheme().covers(&db));
+        let partial = DistScheme::new(vec![gf(0, 0, 60), gf(1, 0, 50)], vec![vec![0, 1]]);
+        assert!(!partial.covers(&db));
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn unhosted_fragment_rejected() {
+        let _ = DistScheme::new(vec![gf(0, 0, 10)], vec![vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_replica_rejected() {
+        let _ = DistScheme::new(vec![gf(0, 0, 10)], vec![vec![0, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_fragments_rejected() {
+        let _ = DistScheme::new(vec![gf(0, 0, 10), gf(0, 5, 15)], vec![vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap")]
+    fn scan_over_gap_panics() {
+        let s = DistScheme::new(vec![gf(0, 0, 10), gf(0, 20, 30)], vec![vec![0, 1]]);
+        let _ = s.requests_for_scan(&ScanRange::new(TableId(0), 5, 25));
+    }
+}

@@ -1,0 +1,200 @@
+//! A stable-ordered discrete-event queue.
+//!
+//! Events are popped in nondecreasing time order; ties are broken by
+//! insertion order (FIFO), which keeps simulations deterministic even when
+//! many events share a timestamp (common with integer clocks).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: a payload scheduled at a point in simulated time.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // first-inserted) event is the "largest".
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue with deterministic FIFO tie-breaking.
+///
+/// ```
+/// use nashdb_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "first");
+/// q.schedule(SimTime::from_secs(1), "second");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock — an event scheduled
+    /// in the past indicates a simulation bug, not a recoverable condition.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.payload))
+    }
+
+    /// Drops all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for secs in [5u64, 1, 3, 2, 4] {
+            q.schedule(SimTime::from_secs(secs), secs);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn interleaved_scheduling_is_stable() {
+        // Events scheduled *while draining* still honour time order and FIFO.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "a");
+        q.schedule(t + SimDuration::from_secs(1), "b");
+        q.schedule(t + SimDuration::from_secs(1), "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

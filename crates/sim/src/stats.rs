@@ -1,0 +1,306 @@
+//! Streaming statistics used by the experiment harness.
+//!
+//! * [`Welford`] — numerically stable online mean/variance (the same
+//!   recurrence the paper adapts for its split-point search, Appendix C).
+//! * [`Percentiles`] — exact percentile extraction from a retained sample
+//!   (our experiments retain every query latency, as the paper's do).
+//! * [`TimeSeries`] — fixed-width time-bucket accumulator for the
+//!   throughput-over-time plots (paper Fig. 11).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Online mean and (population) variance via Welford's recurrence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sum of squared deviations from the mean — the paper's *unnormalized
+    /// variance* (Eq. 4).
+    pub fn sum_sq_dev(&self) -> f64 {
+        self.m2.max(0.0)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// Exact percentiles over a retained sample.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`) by the nearest-rank method;
+    /// `None` if empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// Maximum observation; `None` if empty.
+    pub fn max(&mut self) -> Option<f64> {
+        self.percentile(100.0)
+    }
+}
+
+/// Accumulates a quantity into fixed-width time buckets.
+///
+/// Used for throughput-over-time reporting: each completed scan adds its
+/// tuple count at its completion time; [`TimeSeries::buckets`] then yields
+/// `(bucket_start, total)` rows.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    width: SimDuration,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "time series bucket width must be nonzero");
+        TimeSeries {
+            width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Adds `amount` at time `at`.
+    pub fn add(&mut self, at: SimTime, amount: f64) {
+        let idx = (at.as_nanos() / self.width.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += amount;
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Iterates `(bucket_start_time, total)` pairs, including empty buckets
+    /// up to the last populated one.
+    pub fn buckets(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let width = self.width;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_nanos(i as u64 * width.as_nanos()), v))
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert_close(w.mean(), 5.0);
+        assert_close(w.variance(), 4.0);
+        assert_close(w.sum_sq_dev(), 32.0);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_close(w.mean(), 0.0);
+        assert_close(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..33] {
+            left.push(x);
+        }
+        for &x in &xs[33..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_close(left.mean(), all.mean());
+        assert_close(left.variance(), all.variance());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.m2);
+        a.merge(&Welford::new());
+        assert_eq!((a.count(), a.mean(), a.m2), before);
+
+        let mut e = Welford::new();
+        let mut b = Welford::new();
+        b.push(5.0);
+        e.merge(&b);
+        assert_eq!(e.count(), 1);
+        assert_close(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p = Percentiles::new();
+        for x in 1..=100 {
+            p.push(x as f64);
+        }
+        assert_close(p.percentile(50.0).unwrap(), 50.0);
+        assert_close(p.percentile(95.0).unwrap(), 95.0);
+        assert_close(p.percentile(99.0).unwrap(), 99.0);
+        assert_close(p.percentile(100.0).unwrap(), 100.0);
+        assert_close(p.percentile(0.0).unwrap(), 1.0);
+        assert_close(p.mean(), 50.5);
+    }
+
+    #[test]
+    fn percentiles_empty_is_none() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.percentile(50.0), None);
+        assert_eq!(p.max(), None);
+        assert_close(p.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interleaved_push_and_query() {
+        let mut p = Percentiles::new();
+        p.push(10.0);
+        assert_close(p.percentile(50.0).unwrap(), 10.0);
+        p.push(1.0);
+        // Re-sorts after the new push.
+        assert_close(p.percentile(0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn timeseries_buckets_accumulate() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.add(SimTime::from_secs(10), 5.0);
+        ts.add(SimTime::from_secs(59), 5.0);
+        ts.add(SimTime::from_secs(60), 7.0);
+        ts.add(SimTime::from_secs(200), 1.0);
+        let rows: Vec<(u64, f64)> = ts
+            .buckets()
+            .map(|(t, v)| (t.as_nanos() / 1_000_000_000, v))
+            .collect();
+        assert_eq!(rows, vec![(0, 10.0), (60, 7.0), (120, 0.0), (180, 1.0)]);
+        assert_close(ts.total(), 18.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn timeseries_zero_width_panics() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+}

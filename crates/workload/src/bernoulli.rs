@@ -1,0 +1,128 @@
+//! The paper's *Bernoulli* workload (§10): simple range queries over the
+//! TPC-H fact table simulating a time-series analysis where recent tuples
+//! are accessed more than old ones.
+//!
+//! Every query ends at the last tuple; the starting point reaches back a
+//! geometrically distributed distance: 95 % of queries touch the last GB,
+//! 90 % the second-to-last GB, and `100 · (19/20)ⁿ` % the n-th GB from the
+//! end — i.e. the reach-back in whole GB is geometric with success
+//! probability 1/20 (plus a uniform sub-GB remainder so starts are not
+//! quantized to GB boundaries).
+
+use nashdb_cluster::{QueryRequest, ScanRange};
+use nashdb_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{Database, TimedQuery, Workload, TUPLES_PER_GB};
+
+/// Bernoulli workload configuration.
+#[derive(Debug, Clone)]
+pub struct BernoulliConfig {
+    /// Fact-table size in GB (the paper uses the 1 TB TPC-H fact table).
+    pub size_gb: u64,
+    /// Number of queries.
+    pub queries: usize,
+    /// Price of every query.
+    pub price: f64,
+    /// Arrival spacing (batch workload: small and uniform).
+    pub spacing: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BernoulliConfig {
+    fn default() -> Self {
+        BernoulliConfig {
+            size_gb: 100,
+            queries: 500,
+            price: 1.0,
+            spacing: SimDuration::from_millis(100),
+            seed: 0xbe_u64,
+        }
+    }
+}
+
+/// Generates the workload.
+pub fn workload(cfg: &BernoulliConfig) -> Workload {
+    assert!(cfg.queries > 0, "need at least one query");
+    let db = Database::new([("fact", cfg.size_gb * TUPLES_PER_GB)]);
+    let table = db.tables[0];
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let queries = (0..cfg.queries)
+        .map(|i| {
+            let reach_gb = rng.geometric(1.0 / 20.0);
+            let sub = rng.uniform_f64();
+            let reach = ((reach_gb as f64 + sub) * TUPLES_PER_GB as f64) as u64;
+            let start = table.tuples.saturating_sub(reach.max(1));
+            TimedQuery {
+                at: SimTime::ZERO + cfg.spacing * i as u64,
+                query: QueryRequest {
+                    price: cfg.price,
+                    scans: vec![ScanRange::new(table.id, start, table.tuples)],
+                    tag: 0,
+                },
+            }
+        })
+        .collect();
+    Workload {
+        name: format!("bernoulli-{}gb", cfg.size_gb),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_end_at_last_tuple() {
+        let w = workload(&BernoulliConfig::default());
+        let end = w.db.tables[0].tuples;
+        assert!(w.queries.iter().all(|q| q.query.scans[0].end == end));
+    }
+
+    #[test]
+    fn reach_back_distribution_matches_paper() {
+        let cfg = BernoulliConfig {
+            queries: 20_000,
+            size_gb: 1_000,
+            ..BernoulliConfig::default()
+        };
+        let w = workload(&cfg);
+        let end = w.db.tables[0].tuples;
+        let frac_reaching = |gb_back: u64| {
+            let cutoff = end - gb_back * TUPLES_PER_GB;
+            w.queries
+                .iter()
+                .filter(|q| q.query.scans[0].start < cutoff)
+                .count() as f64
+                / w.queries.len() as f64
+        };
+        // P(reach beyond 1 GB back) = 0.95, beyond 2 GB = 0.9025, ...
+        assert!((frac_reaching(1) - 0.95).abs() < 0.02, "{}", frac_reaching(1));
+        assert!((frac_reaching(2) - 0.9025).abs() < 0.02);
+        let ten = 0.95f64.powi(10);
+        assert!((frac_reaching(10) - ten).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = BernoulliConfig::default();
+        assert_eq!(workload(&cfg).queries, workload(&cfg).queries);
+    }
+
+    #[test]
+    fn scans_are_nonempty_and_in_range() {
+        let w = workload(&BernoulliConfig {
+            size_gb: 2,
+            queries: 1_000,
+            ..BernoulliConfig::default()
+        });
+        for q in &w.queries {
+            let s = q.query.scans[0];
+            assert!(s.start < s.end);
+            assert!(s.end <= w.db.tables[0].tuples);
+        }
+    }
+}

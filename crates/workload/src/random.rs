@@ -1,0 +1,108 @@
+//! The paper's *Random* dynamic workload (§10): a sequence of aggregated
+//! range queries with uniformly distributed start and end points over a
+//! TPC-H fact table, arriving over a 72-hour period.
+
+use nashdb_cluster::{QueryRequest, ScanRange};
+use nashdb_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{Database, TimedQuery, Workload, TUPLES_PER_GB};
+
+/// Random workload configuration.
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Fact-table size in GB.
+    pub size_gb: u64,
+    /// Number of queries.
+    pub queries: usize,
+    /// Workload duration (the paper's dynamic workloads span 72 h).
+    pub duration: SimDuration,
+    /// Price of every query.
+    pub price: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            size_gb: 100,
+            queries: 1_000,
+            duration: SimDuration::from_secs(72 * 3600),
+            price: 1.0,
+            seed: 0xAD_u64,
+        }
+    }
+}
+
+/// Generates the workload: uniform `(start, end)` pairs, arrivals uniform
+/// over the duration (sorted).
+pub fn workload(cfg: &RandomConfig) -> Workload {
+    assert!(cfg.queries > 0, "need at least one query");
+    let db = Database::new([("fact", cfg.size_gb * TUPLES_PER_GB)]);
+    let table = db.tables[0];
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+
+    let mut arrivals: Vec<u64> = (0..cfg.queries)
+        .map(|_| rng.uniform_u64(0, cfg.duration.as_nanos().max(1)))
+        .collect();
+    arrivals.sort_unstable();
+
+    let queries = arrivals
+        .into_iter()
+        .map(|at| {
+            let a = rng.uniform_u64(0, table.tuples);
+            let b = rng.uniform_u64(0, table.tuples);
+            let (start, end) = if a <= b { (a, b + 1) } else { (b, a + 1) };
+            TimedQuery {
+                at: SimTime::from_nanos(at),
+                query: QueryRequest {
+                    price: cfg.price,
+                    scans: vec![ScanRange::new(table.id, start, end.min(table.tuples).max(start + 1))],
+                    tag: 0,
+                },
+            }
+        })
+        .collect();
+
+    Workload {
+        name: format!("random-{}gb", cfg.size_gb),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_sorted_within_duration() {
+        let cfg = RandomConfig::default();
+        let w = workload(&cfg);
+        assert!(w.queries.windows(2).all(|p| p[0].at <= p[1].at));
+        assert!(w
+            .queries
+            .iter()
+            .all(|q| q.at.as_nanos() <= cfg.duration.as_nanos()));
+    }
+
+    #[test]
+    fn mean_scan_covers_about_a_third() {
+        // |U1 - U2| has mean n/3 for uniform endpoints.
+        let cfg = RandomConfig {
+            queries: 5_000,
+            ..RandomConfig::default()
+        };
+        let w = workload(&cfg);
+        let n = w.db.tables[0].tuples as f64;
+        let mean = w.total_read() as f64 / w.queries.len() as f64;
+        assert!((mean / n - 1.0 / 3.0).abs() < 0.02, "mean fraction {}", mean / n);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = RandomConfig::default();
+        assert_eq!(workload(&cfg).queries, workload(&cfg).queries);
+    }
+}

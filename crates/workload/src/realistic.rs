@@ -1,0 +1,321 @@
+//! Synthetic analogues of the paper's proprietary corporate workloads.
+//!
+//! The paper evaluates on three private workloads it can only characterize
+//! through Table 1 (database size, query count, median and minimum data
+//! read) plus one-line descriptions: a *dashboard* batch (static Real 1), a
+//! *descriptive analytics* stream (dynamic Real 1), and a *predictive
+//! analytics* stream (dynamic Real 2). We generate workloads matched to
+//! those published statistics, adding drifting hot spots to the dynamic
+//! variants so NashDB's adaptivity machinery is actually exercised
+//! (a production analytics stream is never stationary). Each generator's
+//! tests assert the Table 1 statistics hold.
+
+use nashdb_cluster::{QueryRequest, ScanRange};
+use nashdb_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{Database, TimedQuery, Workload, TUPLES_PER_GB};
+
+fn gb(x: f64) -> u64 {
+    (x * TUPLES_PER_GB as f64) as u64
+}
+
+/// Splits a total read volume across the database's tables (largest first),
+/// producing one contiguous scan per table, positioned by `rng` but fully
+/// inside each table.
+fn spread_scans(db: &Database, total: u64, rng: &mut SimRng) -> Vec<ScanRange> {
+    let db_total = db.total_tuples();
+    let total = total.clamp(1, db_total);
+    let mut remaining = total;
+    let mut scans = Vec::new();
+    // Tables in descending size, so big reads land on big tables.
+    let mut tables: Vec<_> = db.tables.iter().collect();
+    tables.sort_by_key(|t| std::cmp::Reverse(t.tuples));
+    for t in tables {
+        if remaining == 0 {
+            break;
+        }
+        // Read this table's proportional share of the request, capped by
+        // the table itself.
+        let share = ((total as f64) * (t.tuples as f64 / db_total as f64)).ceil() as u64;
+        let len = share.clamp(1, t.tuples).min(remaining);
+        let start = if len >= t.tuples {
+            0
+        } else {
+            rng.uniform_u64(0, t.tuples - len + 1)
+        };
+        scans.push(ScanRange::new(t.id, start, start + len));
+        remaining -= len;
+    }
+    scans
+}
+
+// ---------------------------------------------------------------------------
+// Static "Real data 1": dashboard batch. Table 1: 800 GB DB, 1000 queries,
+// median read 600 GB, min read 5 GB.
+// ---------------------------------------------------------------------------
+
+/// Generates the static Real-data-1 analogue.
+pub fn real1_static(seed: u64) -> Workload {
+    let db = Database::new([
+        ("facts", gb(480.0)),
+        ("events", gb(200.0)),
+        ("dims", gb(120.0)),
+    ]);
+    let mut rng = SimRng::seed_from_u64(seed);
+
+    // A dashboard is a fixed panel of templates re-run as a batch. Sizes:
+    // a majority of heavyweight aggregations (most of the DB) plus a tail
+    // of narrower drill-downs, tuned so the median query reads ~600 GB and
+    // the smallest ~5 GB.
+    let mut template_fracs: Vec<f64> = Vec::new();
+    for i in 0..14 {
+        template_fracs.push(0.72 + 0.02 * i as f64); // 0.72..0.98
+    }
+    for i in 0..11 {
+        template_fracs.push(0.00625 * 1.6f64.powi(i)); // 5 GB .. ~550 GB
+    }
+
+    // A dashboard re-runs the *same* panel of queries each cycle: scan
+    // positions are fixed per template (drawn once), not per instance.
+    let template_scans: Vec<Vec<ScanRange>> = template_fracs
+        .iter()
+        .map(|&frac| {
+            let total = (frac * db.total_tuples() as f64) as u64;
+            spread_scans(&db, total, &mut rng)
+        })
+        .collect();
+
+    let spacing = SimDuration::from_secs(120);
+    let queries = (0..1000)
+        .map(|i| {
+            let t = i % template_scans.len();
+            TimedQuery {
+                at: SimTime::ZERO + spacing * i as u64,
+                query: QueryRequest {
+                    price: 1.0,
+                    scans: template_scans[t].clone(),
+                    tag: t as u32,
+                },
+            }
+        })
+        .collect();
+
+    Workload {
+        name: "real1-static".into(),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic "Real data 1": descriptive analytics. Table 1: 300 GB DB, 1220
+// queries over 72 h, median read 50 GB, min read < 1 GB.
+// ---------------------------------------------------------------------------
+
+/// Generates the dynamic Real-data-1 analogue.
+pub fn real1_dynamic(seed: u64) -> Workload {
+    let db = Database::new([("facts", gb(240.0)), ("dims", gb(60.0))]);
+    let fact = db.tables[0];
+    let mut rng = SimRng::seed_from_u64(seed);
+    let duration = SimDuration::from_secs(72 * 3600);
+    let n = 1220usize;
+
+    let mut arrivals: Vec<u64> = (0..n)
+        .map(|_| rng.uniform_u64(0, duration.as_nanos()))
+        .collect();
+    arrivals.sort_unstable();
+
+    let queries = arrivals
+        .into_iter()
+        .map(|at_ns| {
+            // Analysts chase a drifting region of interest: the hot centre
+            // sweeps the fact table once over the 72 h, with a daily wobble.
+            let phase = at_ns as f64 / duration.as_nanos() as f64;
+            let wobble = 0.08 * (phase * 3.0 * std::f64::consts::TAU).sin();
+            let centre = ((phase + wobble).rem_euclid(1.0) * fact.tuples as f64) as u64;
+
+            // Read sizes: 25 % narrow drill-downs (0.05–2 GB), 75 % regional
+            // aggregations (15–120 GB); median ≈ 50 GB.
+            let read = if rng.bernoulli(0.25) {
+                gb(0.05) + rng.uniform_u64(0, gb(1.95))
+            } else {
+                gb(15.0) + rng.uniform_u64(0, gb(105.0))
+            };
+            let len = read.clamp(1, fact.tuples);
+            let half = len / 2;
+            let start = centre.saturating_sub(half).min(fact.tuples - len);
+            TimedQuery {
+                at: SimTime::from_nanos(at_ns),
+                query: QueryRequest {
+                    price: 1.0,
+                    scans: vec![ScanRange::new(fact.id, start, start + len)],
+                    tag: 0,
+                },
+            }
+        })
+        .collect();
+
+    Workload {
+        name: "real1-dynamic".into(),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic "Real data 2": predictive analytics. Table 1: 3 TB DB, 2500
+// queries over 72 h, median read 450 GB, min read 80 KB.
+// ---------------------------------------------------------------------------
+
+/// Generates the dynamic Real-data-2 analogue.
+pub fn real2_dynamic(seed: u64) -> Workload {
+    let db = Database::new([
+        ("train", gb(2100.0)),
+        ("features", gb(700.0)),
+        ("models", gb(200.0)),
+    ]);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let duration = SimDuration::from_secs(72 * 3600);
+    let n = 2500usize;
+
+    let mut arrivals: Vec<u64> = (0..n)
+        .map(|_| rng.uniform_u64(0, duration.as_nanos()))
+        .collect();
+    arrivals.sort_unstable();
+
+    // Tiny feature lookups hit zipf-hot keys whose hot set drifts daily.
+    let zipf = nashdb_sim::rng::ZipfTable::new(4096, 1.05);
+    let features = db.tables[1];
+
+    let queries = arrivals
+        .into_iter()
+        .map(|at_ns| {
+            let phase = at_ns as f64 / duration.as_nanos() as f64;
+            if rng.bernoulli(0.30) {
+                // Point-ish feature read: 80 KB .. 100 MB around a hot key.
+                let rank = zipf.sample(&mut rng);
+                let day_shift = ((phase * 3.0) as u64 * 512) % 4096;
+                let slot = (rank + day_shift) % 4096;
+                let slot_width = features.tuples / 4096;
+                let base = slot * slot_width;
+                let len = (80 + rng.uniform_u64(0, 100_000)).min(slot_width.max(81));
+                let start = base.min(features.tuples - len);
+                TimedQuery {
+                    at: SimTime::from_nanos(at_ns),
+                    query: QueryRequest {
+                        price: 1.0,
+                        scans: vec![ScanRange::new(features.id, start, start + len)],
+                        tag: 1,
+                    },
+                }
+            } else {
+                // Training sweep: 350–700 GB across the big tables.
+                let read = gb(350.0) + rng.uniform_u64(0, gb(350.0));
+                TimedQuery {
+                    at: SimTime::from_nanos(at_ns),
+                    query: QueryRequest {
+                        price: 1.0,
+                        scans: spread_scans(&db, read, &mut rng),
+                        tag: 2,
+                    },
+                }
+            }
+        })
+        .collect();
+
+    Workload {
+        name: "real2-dynamic".into(),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real1_static_matches_table1() {
+        let w = real1_static(7);
+        let s = w.summary();
+        assert!((s.db_gb - 800.0).abs() < 1.0, "db {}", s.db_gb);
+        assert_eq!(s.queries, 1000);
+        assert!(
+            (500.0..=700.0).contains(&s.median_read_gb),
+            "median {}",
+            s.median_read_gb
+        );
+        assert!(
+            (3.0..=8.0).contains(&s.min_read_gb),
+            "min {}",
+            s.min_read_gb
+        );
+    }
+
+    #[test]
+    fn real1_dynamic_matches_table1() {
+        let w = real1_dynamic(7);
+        let s = w.summary();
+        assert!((s.db_gb - 300.0).abs() < 1.0);
+        assert_eq!(s.queries, 1220);
+        assert!(
+            (35.0..=70.0).contains(&s.median_read_gb),
+            "median {}",
+            s.median_read_gb
+        );
+        assert!(s.min_read_gb < 1.0, "min {}", s.min_read_gb);
+        // Spans 72 h.
+        let last = w.queries.last().unwrap().at;
+        assert!(last.as_secs_f64() > 60.0 * 3600.0);
+    }
+
+    #[test]
+    fn real2_dynamic_matches_table1() {
+        let w = real2_dynamic(7);
+        let s = w.summary();
+        assert!((s.db_gb - 3000.0).abs() < 1.0);
+        assert_eq!(s.queries, 2500);
+        assert!(
+            (350.0..=550.0).contains(&s.median_read_gb),
+            "median {}",
+            s.median_read_gb
+        );
+        // 80 KB = 80 tuples = 0.00008 GB.
+        assert!(s.min_read_gb < 0.001, "min {}", s.min_read_gb);
+    }
+
+    #[test]
+    fn dynamic_real1_hot_centre_drifts() {
+        let w = real1_dynamic(7);
+        let fact_len = w.db.tables[0].tuples as f64;
+        let centre_of = |tq: &TimedQuery| {
+            let s = tq.query.scans[0];
+            (s.start + s.end) as f64 / 2.0 / fact_len
+        };
+        let early: f64 = w.queries[..100].iter().map(centre_of).sum::<f64>() / 100.0;
+        let late: f64 = w.queries[w.queries.len() - 100..]
+            .iter()
+            .map(centre_of)
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            (late - early).abs() > 0.2,
+            "no drift: early {early:.2} late {late:.2}"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(real1_static(3).queries, real1_static(3).queries);
+        assert_eq!(real1_dynamic(3).queries, real1_dynamic(3).queries);
+        assert_eq!(real2_dynamic(3).queries, real2_dynamic(3).queries);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(real1_dynamic(1).queries, real1_dynamic(2).queries);
+    }
+}

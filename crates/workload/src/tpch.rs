@@ -1,0 +1,337 @@
+//! A TPC-H-like batch workload (paper §10, "TPC-H workload ... all query
+//! templates ... with a size of 1 TB").
+//!
+//! NashDB consumes the *range scans* a query plan issues, not SQL (paper
+//! §2), so the workload is reproduced at scan level: a schema with the
+//! benchmark's table-size ratios, and for each of the 22 templates the scan
+//! footprint its plan produces — full scans of the tables it joins and
+//! partial ranges where its date/key predicates restrict a clustered scan.
+//! Per-instance predicate placement is randomized, as different substitution
+//! parameters hit different key ranges.
+
+use nashdb_cluster::{QueryRequest, ScanRange};
+use nashdb_sim::{SimDuration, SimRng, SimTime};
+
+use crate::{Database, TimedQuery, Workload, TUPLES_PER_GB};
+
+/// Indices of the TPC-H tables in [`database`]'s ordering.
+pub mod tables {
+    /// lineitem
+    pub const LINEITEM: usize = 0;
+    /// orders
+    pub const ORDERS: usize = 1;
+    /// partsupp
+    pub const PARTSUPP: usize = 2;
+    /// part
+    pub const PART: usize = 3;
+    /// customer
+    pub const CUSTOMER: usize = 4;
+    /// supplier
+    pub const SUPPLIER: usize = 5;
+    /// nation
+    pub const NATION: usize = 6;
+    /// region
+    pub const REGION: usize = 7;
+}
+
+/// Byte-share of each table in a TPC-H database (approximately the spec's
+/// cardinality × row width at any scale factor).
+const TABLE_SHARE: &[(&str, f64)] = &[
+    ("lineitem", 0.700),
+    ("orders", 0.150),
+    ("partsupp", 0.100),
+    ("part", 0.025),
+    ("customer", 0.020),
+    ("supplier", 0.004),
+    ("nation", 0.0005),
+    ("region", 0.0005),
+];
+
+/// How a template's plan touches one table.
+#[derive(Debug, Clone, Copy)]
+enum Cov {
+    /// Scans the whole table.
+    Full,
+    /// Scans a contiguous fraction at a random (per-instance) position — a
+    /// clustered predicate such as a date range.
+    Frac(f64),
+    /// Scans the trailing fraction — a "recent data" predicate.
+    Suffix(f64),
+    /// Scans a fixed contiguous fraction at a fixed position (templates
+    /// whose substitution parameters do not move the predicate — e.g. Q7's
+    /// hard-coded 1995–1996 date range).
+    Fixed(f64, f64),
+}
+
+/// The scan footprints of the 22 templates: `(table index, coverage)`.
+fn template_footprint(template: u32) -> &'static [(usize, Cov)] {
+    use tables::*;
+    use Cov::*;
+    match template {
+        1 => &[(LINEITEM, Suffix(0.97))],
+        2 => &[
+            (PART, Frac(0.20)),
+            (PARTSUPP, Frac(0.20)),
+            (SUPPLIER, Full),
+            (NATION, Full),
+            (REGION, Full),
+        ],
+        3 => &[(CUSTOMER, Frac(0.20)), (ORDERS, Frac(0.49)), (LINEITEM, Frac(0.54))],
+        4 => &[(ORDERS, Frac(0.25)), (LINEITEM, Frac(0.30))],
+        5 => &[
+            (CUSTOMER, Full),
+            (ORDERS, Frac(0.15)),
+            (LINEITEM, Frac(0.15)),
+            (SUPPLIER, Full),
+            (NATION, Full),
+            (REGION, Full),
+        ],
+        6 => &[(LINEITEM, Frac(0.15))],
+        7 => &[
+            (SUPPLIER, Full),
+            // Q7's date predicate is fixed by the spec (1995-01-01 ..
+            // 1996-12-31), so every instance scans the same range.
+            (LINEITEM, Fixed(0.30, 0.55)),
+            (ORDERS, Full),
+            (CUSTOMER, Full),
+            (NATION, Full),
+        ],
+        8 => &[
+            (PART, Frac(0.01)),
+            (SUPPLIER, Full),
+            (LINEITEM, Frac(0.30)),
+            (ORDERS, Frac(0.30)),
+            (CUSTOMER, Full),
+            (NATION, Full),
+            (REGION, Full),
+        ],
+        9 => &[
+            (PART, Frac(0.05)),
+            (SUPPLIER, Full),
+            (LINEITEM, Full),
+            (PARTSUPP, Full),
+            (ORDERS, Full),
+            (NATION, Full),
+        ],
+        10 => &[
+            (CUSTOMER, Full),
+            (ORDERS, Frac(0.08)),
+            (LINEITEM, Frac(0.25)),
+            (NATION, Full),
+        ],
+        11 => &[(PARTSUPP, Full), (SUPPLIER, Full), (NATION, Full)],
+        12 => &[(ORDERS, Full), (LINEITEM, Frac(0.15))],
+        13 => &[(CUSTOMER, Full), (ORDERS, Full)],
+        14 => &[(LINEITEM, Frac(0.08)), (PART, Full)],
+        15 => &[(LINEITEM, Frac(0.25)), (SUPPLIER, Full)],
+        16 => &[(PARTSUPP, Full), (PART, Full), (SUPPLIER, Full)],
+        17 => &[(LINEITEM, Full), (PART, Frac(0.01))],
+        18 => &[(CUSTOMER, Full), (ORDERS, Full), (LINEITEM, Full)],
+        19 => &[(LINEITEM, Frac(0.02)), (PART, Frac(0.02))],
+        20 => &[
+            (SUPPLIER, Full),
+            (NATION, Full),
+            (PARTSUPP, Frac(0.20)),
+            (PART, Frac(0.01)),
+            (LINEITEM, Frac(0.15)),
+        ],
+        21 => &[(SUPPLIER, Full), (LINEITEM, Full), (ORDERS, Full), (NATION, Full)],
+        22 => &[(CUSTOMER, Frac(0.25)), (ORDERS, Full)],
+        _ => panic!("TPC-H has templates 1..=22, got {template}"),
+    }
+}
+
+/// Builds the TPC-H database at `size_gb` total size.
+pub fn database(size_gb: u64) -> Database {
+    assert!(size_gb > 0, "database must have at least 1 GB");
+    let total = size_gb * TUPLES_PER_GB;
+    Database::new(
+        TABLE_SHARE
+            .iter()
+            .map(|&(name, share)| (name, ((total as f64 * share) as u64).max(1_000))),
+    )
+}
+
+/// TPC-H workload generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Total database size in GB (the paper uses 1 TB = 1000).
+    pub size_gb: u64,
+    /// How many instances of each of the 22 templates to generate.
+    pub rounds: usize,
+    /// Price of every query, in 1/100 cent (the paper sweeps 1 to 16).
+    pub price: f64,
+    /// Per-template price overrides, `(template, price)` — used by the
+    /// prioritization experiment (Fig. 9a prices template 7 separately).
+    pub price_overrides: Vec<(u32, f64)>,
+    /// Gap between consecutive query arrivals (a batch workload uses a
+    /// small spacing: all queries are "sent simultaneously" but enter the
+    /// system in a deterministic order).
+    pub spacing: SimDuration,
+    /// RNG seed for predicate placement.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            size_gb: 100,
+            rounds: 5,
+            price: 1.0,
+            price_overrides: Vec::new(),
+            spacing: SimDuration::from_millis(100),
+            seed: 0x79c1234,
+        }
+    }
+}
+
+/// Generates the workload: `rounds` interleaved instances of templates
+/// 1..=22, tagged with their template number.
+pub fn workload(cfg: &TpchConfig) -> Workload {
+    assert!(cfg.rounds > 0, "need at least one round");
+    let db = database(cfg.size_gb);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let mut queries = Vec::with_capacity(cfg.rounds * 22);
+    let mut at = SimTime::ZERO;
+    for _round in 0..cfg.rounds {
+        for template in 1..=22u32 {
+            let price = cfg
+                .price_overrides
+                .iter()
+                .find(|(t, _)| *t == template)
+                .map_or(cfg.price, |(_, p)| *p);
+            queries.push(TimedQuery {
+                at,
+                query: instance(&db, template, price, &mut rng),
+            });
+            at += cfg.spacing;
+        }
+    }
+    Workload {
+        name: format!("tpch-{}gb", cfg.size_gb),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+/// One instance of a template: its footprint with predicate positions drawn
+/// from `rng`.
+pub fn instance(db: &Database, template: u32, price: f64, rng: &mut SimRng) -> QueryRequest {
+    let scans = template_footprint(template)
+        .iter()
+        .map(|&(table_idx, cov)| {
+            let table = &db.tables[table_idx];
+            let n = table.tuples;
+            let (start, end) = match cov {
+                Cov::Full => (0, n),
+                Cov::Suffix(f) => {
+                    let len = frac_len(n, f, rng);
+                    (n - len, n)
+                }
+                Cov::Frac(f) => {
+                    let len = frac_len(n, f, rng);
+                    let start = rng.uniform_u64(0, n - len + 1);
+                    (start, start + len)
+                }
+                Cov::Fixed(f, pos) => {
+                    let len = (((n as f64) * f) as u64).clamp(1, n);
+                    let start = (((n - len) as f64) * pos) as u64;
+                    (start, start + len)
+                }
+            };
+            ScanRange::new(table.id, start, end)
+        })
+        .collect();
+    QueryRequest {
+        price,
+        scans,
+        tag: template,
+    }
+}
+
+/// A scan length near `f × n` with ±20 % per-instance jitter, at least one
+/// tuple and at most the table.
+fn frac_len(n: u64, f: f64, rng: &mut SimRng) -> u64 {
+    let jitter = 0.8 + 0.4 * rng.uniform_f64();
+    (((n as f64) * f * jitter) as u64).clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_shares_roughly_match() {
+        let db = database(1000);
+        let total = db.total_tuples() as f64;
+        let li = db.tables[tables::LINEITEM].tuples as f64;
+        assert!((li / total - 0.70).abs() < 0.01, "lineitem share {}", li / total);
+        assert_eq!(db.fact_table().name, "lineitem");
+        assert_eq!(db.tables.len(), 8);
+    }
+
+    #[test]
+    fn all_templates_have_footprints() {
+        for t in 1..=22 {
+            assert!(!template_footprint(t).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "templates 1..=22")]
+    fn template_zero_rejected() {
+        let _ = template_footprint(0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_tagged() {
+        let cfg = TpchConfig {
+            size_gb: 10,
+            rounds: 2,
+            ..TpchConfig::default()
+        };
+        let a = workload(&cfg);
+        let b = workload(&cfg);
+        assert_eq!(a.queries.len(), 44);
+        assert_eq!(a.queries, b.queries);
+        // Tags cycle 1..=22 twice.
+        let tags: Vec<u32> = a.queries.iter().map(|q| q.query.tag).collect();
+        assert_eq!(&tags[..3], &[1, 2, 3]);
+        assert_eq!(tags[22], 1);
+    }
+
+    #[test]
+    fn price_overrides_apply_to_template_only() {
+        let cfg = TpchConfig {
+            size_gb: 10,
+            rounds: 1,
+            price: 1.0,
+            price_overrides: vec![(7, 16.0)],
+            ..TpchConfig::default()
+        };
+        let w = workload(&cfg);
+        for tq in &w.queries {
+            let expect = if tq.query.tag == 7 { 16.0 } else { 1.0 };
+            assert_eq!(tq.query.price, expect, "template {}", tq.query.tag);
+        }
+    }
+
+    #[test]
+    fn instances_vary_in_predicate_placement() {
+        let db = database(10);
+        let mut rng = SimRng::seed_from_u64(1);
+        let a = instance(&db, 6, 1.0, &mut rng);
+        let b = instance(&db, 6, 1.0, &mut rng);
+        // Template 6 is a Frac scan of lineitem: positions should differ.
+        assert_ne!(a.scans[0], b.scans[0]);
+    }
+
+    #[test]
+    fn suffix_templates_end_at_table_end() {
+        let db = database(10);
+        let mut rng = SimRng::seed_from_u64(2);
+        let q = instance(&db, 1, 1.0, &mut rng);
+        assert_eq!(q.scans[0].end, db.tables[tables::LINEITEM].tuples);
+    }
+}

@@ -1,0 +1,95 @@
+//! Elastic scaling: the cluster grows for the rush and shrinks for the
+//! lull (paper §1: "scaling up the cluster during workload spikes, and
+//! scaling down during lulls in activity").
+//!
+//! ```text
+//! cargo run --release --example elastic_timeseries
+//! ```
+//!
+//! A monitoring workload alternates busy and quiet hours. NashDB's
+//! provisioning is a by-product of its economics: when the scan window
+//! carries more (or pricier) scans, fragments earn more replicas, BFFD
+//! packs more nodes; when demand fades, replicas stop being profitable and
+//! nodes are decommissioned by the transition planner.
+
+use nashdb::{run_workload, MaxOfMins, NashDbConfig, NashDbDistributor, RunConfig};
+use nashdb_cluster::{ClusterConfig, QueryRequest, ScanRange};
+use nashdb_core::economics::NodeSpec;
+use nashdb_core::ids::TableId;
+use nashdb_sim::{SimDuration, SimRng, SimTime};
+use nashdb_workload::{Database, TimedQuery, Workload};
+
+fn build_workload() -> Workload {
+    let db = Database::new([("metrics", 6_000_000u64)]);
+    let table = db.tables[0];
+    let mut rng = SimRng::seed_from_u64(99);
+    let mut queries = Vec::new();
+    let hours = 8u64;
+    for h in 0..hours {
+        // Busy hours fire 6x the queries of quiet hours.
+        let busy = h % 2 == 0;
+        let n = if busy { 180 } else { 30 };
+        for i in 0..n {
+            let at = SimTime::from_secs(h * 3600) + SimDuration::from_secs(3600 * i / n);
+            let reach = (rng.geometric(0.3) + 1).min(10) * 300_000;
+            let start = table.tuples.saturating_sub(reach);
+            queries.push(TimedQuery {
+                at,
+                query: QueryRequest {
+                    price: 1.0,
+                    scans: vec![ScanRange::new(TableId(0), start, table.tuples)],
+                    tag: h as u32,
+                },
+            });
+        }
+    }
+    Workload {
+        name: "elastic-timeseries".into(),
+        db,
+        queries,
+    }
+    .validated()
+}
+
+fn main() {
+    let w = build_workload();
+    let mut nashdb = NashDbDistributor::new(
+        &w.db,
+        NashDbConfig {
+            spec: NodeSpec::new(50.0, 1_500_000),
+            max_frags_per_table: 32,
+            max_fragment_tuples: 400_000,
+            ..NashDbConfig::default()
+        },
+    );
+    let run = RunConfig {
+        cluster: ClusterConfig {
+            throughput_tps: 200_000.0,
+            node_cost_per_hour: 50.0,
+            metrics_bucket: SimDuration::from_secs(600),
+        },
+        reconfig_interval: SimDuration::from_secs(1200), // 20 min
+        ..RunConfig::default()
+    };
+    let metrics = run_workload(&w, &mut nashdb, &MaxOfMins::new(run.phi_tuples()), &run);
+
+    println!("queries completed : {}", metrics.queries.len());
+    println!("reconfigurations  : {}", metrics.reconfigurations);
+    println!("peak cluster size : {} nodes", metrics.peak_nodes);
+    println!(
+        "data moved        : {:.1} MB over {} transitions",
+        metrics.total_transfer() as f64 / 1e3,
+        metrics.reconfigurations
+    );
+    println!();
+    println!("throughput per 10-minute bucket (GB read):");
+    for (t, v) in metrics.read_throughput.buckets() {
+        let hour = t.as_secs_f64() / 3600.0;
+        let gb = v / 1e6;
+        let bar = "#".repeat((gb * 4.0) as usize);
+        println!("  t={hour:4.1}h {gb:7.2} {bar}");
+    }
+    println!();
+    println!("the alternating bars show the busy/quiet hours; the cluster");
+    println!("resizes at each transition to track them (peak size above).");
+}

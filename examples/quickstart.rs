@@ -1,0 +1,69 @@
+//! Quickstart: run NashDB end to end on a small time-series workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 4 GB "recent data is hot" workload (the paper's Bernoulli
+//! pattern), lets NashDB estimate tuple values, fragment, replicate,
+//! provision, and route it on a simulated elastic cluster, and prints the
+//! headline numbers.
+
+use nashdb::{run_workload, MaxOfMins, NashDbConfig, NashDbDistributor, RunConfig};
+use nashdb_cluster::ClusterConfig;
+use nashdb_core::economics::NodeSpec;
+use nashdb_sim::SimDuration;
+use nashdb_workload::bernoulli::{workload, BernoulliConfig};
+
+fn main() {
+    // 1. A workload: 200 range scans over a 4 GB fact table, every query
+    //    ending at the newest tuple (time-series analysis).
+    let w = workload(&BernoulliConfig {
+        size_gb: 4,
+        queries: 200,
+        price: 1.0,
+        spacing: SimDuration::from_secs(5),
+        seed: 42,
+    });
+    println!("workload: {} ({} queries)", w.name, w.queries.len());
+
+    // 2. NashDB, configured with the node economics of the elastic cluster:
+    //    each node rents for 60 (1/100 cent)/hour and stores 1M tuples.
+    let nash_cfg = NashDbConfig {
+        window: 50,
+        spec: NodeSpec::new(60.0, 1_000_000),
+        max_frags_per_table: 32,
+        max_fragment_tuples: 500_000,
+        ..NashDbConfig::default()
+    };
+    let mut nashdb = NashDbDistributor::new(&w.db, nash_cfg);
+
+    // 3. The simulated cluster and driver settings.
+    let run = RunConfig {
+        cluster: ClusterConfig {
+            throughput_tps: 200_000.0,
+            node_cost_per_hour: 60.0,
+            metrics_bucket: SimDuration::from_secs(60),
+        },
+        reconfig_interval: SimDuration::from_secs(600),
+        ..RunConfig::default()
+    };
+
+    // 4. Run, routing with the paper's Max-of-mins (ϕ = 350 ms).
+    let metrics = run_workload(&w, &mut nashdb, &MaxOfMins::new(run.phi_tuples()), &run);
+
+    println!("completed queries : {}", metrics.queries.len());
+    println!("mean latency      : {:.2} s", metrics.mean_latency_secs());
+    println!(
+        "p95 latency       : {:.2} s",
+        metrics.latency_percentile_secs(95.0).unwrap_or(0.0)
+    );
+    println!("mean query span   : {:.2} nodes", metrics.mean_span());
+    println!("peak cluster size : {} nodes", metrics.peak_nodes);
+    println!("reconfigurations  : {}", metrics.reconfigurations);
+    println!(
+        "data moved        : {:.1} MB",
+        metrics.total_transfer() as f64 / 1e3
+    );
+    println!("total cost        : {:.1} (1/100 cent)", metrics.total_cost);
+}

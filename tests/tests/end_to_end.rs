@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: the full NashDB pipeline against the
+//! simulated cluster, on every workload family.
+
+use nashdb::{run_workload, MaxOfMins, NashDbConfig, NashDbDistributor, RunConfig};
+use nashdb_baselines::{GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor};
+use nashdb_cluster::ClusterConfig;
+use nashdb_core::economics::NodeSpec;
+use nashdb_core::routing::ScanRouter;
+use nashdb_sim::SimDuration;
+use nashdb_workload::bernoulli::{workload as bernoulli, BernoulliConfig};
+use nashdb_workload::random::{workload as random, RandomConfig};
+use nashdb_workload::tpch::{workload as tpch, TpchConfig};
+use nashdb_workload::{realistic, Workload};
+
+fn cluster() -> ClusterConfig {
+    ClusterConfig {
+        throughput_tps: 500_000.0,
+        node_cost_per_hour: 50.0,
+        metrics_bucket: SimDuration::from_secs(600),
+    }
+}
+
+fn nash_cfg(disk: u64) -> NashDbConfig {
+    NashDbConfig {
+        window: 50,
+        spec: NodeSpec::new(50.0, disk),
+        max_frags_per_table: 24,
+        max_fragment_tuples: disk / 4,
+        ..NashDbConfig::default()
+    }
+}
+
+fn run_nash(w: &Workload, disk: u64) -> nashdb_cluster::Metrics {
+    let run = RunConfig {
+        cluster: cluster(),
+        reconfig_interval: SimDuration::from_secs(3600),
+        ..RunConfig::default()
+    };
+    let mut dist = NashDbDistributor::new(&w.db, nash_cfg(disk));
+    run_workload(w, &mut dist, &MaxOfMins::new(run.phi_tuples()), &run)
+}
+
+#[test]
+fn tpch_pipeline_completes_all_queries() {
+    let w = tpch(&TpchConfig {
+        size_gb: 10,
+        rounds: 2,
+        ..TpchConfig::default()
+    });
+    let m = run_nash(&w, 2_000_000);
+    assert_eq!(m.queries.len(), w.queries.len());
+    assert!(m.total_cost > 0.0);
+    assert!(m.peak_nodes >= 1);
+}
+
+#[test]
+fn bernoulli_pipeline_completes_all_queries() {
+    let w = bernoulli(&BernoulliConfig {
+        size_gb: 5,
+        queries: 120,
+        spacing: SimDuration::from_secs(10),
+        ..BernoulliConfig::default()
+    });
+    let m = run_nash(&w, 1_000_000);
+    assert_eq!(m.queries.len(), 120);
+    // At this arrival rate the suffix reads (a few GB at 0.5 GB/s-tuples)
+    // must not queue indefinitely; a full-table scan would take 10 s.
+    assert!(m.mean_latency_secs() < 30.0, "latency {}", m.mean_latency_secs());
+}
+
+#[test]
+fn random_dynamic_reconfigures_hourly() {
+    let w = random(&RandomConfig {
+        size_gb: 5,
+        queries: 100,
+        duration: SimDuration::from_secs(6 * 3600),
+        ..RandomConfig::default()
+    });
+    let m = run_nash(&w, 1_000_000);
+    assert_eq!(m.queries.len(), 100);
+    // Initial provision + 5 hourly wakeups (the last arrivals are before
+    // hour 6).
+    assert!(m.reconfigurations >= 5, "{} reconfigs", m.reconfigurations);
+}
+
+#[test]
+fn realistic_generators_run_end_to_end() {
+    // Scaled-down check that all three Table-1 analogues drive the full
+    // pipeline; the real sizes run in the bench harness.
+    let mut w = realistic::real1_dynamic(3);
+    w.queries.truncate(80);
+    let m = run_nash(&w, w.db.total_tuples() / 6);
+    assert_eq!(m.queries.len(), 80);
+}
+
+#[test]
+fn all_routers_complete_the_same_workload() {
+    let w = bernoulli(&BernoulliConfig {
+        size_gb: 4,
+        queries: 80,
+        ..BernoulliConfig::default()
+    });
+    let run = RunConfig {
+        cluster: cluster(),
+        ..RunConfig::default()
+    };
+    let routers: Vec<Box<dyn ScanRouter>> = vec![
+        Box::new(MaxOfMins::new(run.phi_tuples())),
+        Box::new(ShortestQueue),
+        Box::new(GreedySetCover),
+    ];
+    let mut spans = Vec::new();
+    for router in &routers {
+        let mut dist = NashDbDistributor::new(&w.db, nash_cfg(1_000_000));
+        let m = run_workload(&w, &mut dist, router.as_ref(), &run);
+        assert_eq!(m.queries.len(), 80, "router {}", router.name());
+        spans.push(m.mean_span());
+    }
+    // Greedy set cover minimizes span; it must be the narrowest.
+    assert!(
+        spans[2] <= spans[0] && spans[2] <= spans[1],
+        "greedy-sc span {} vs max-of-mins {} / shortest-queue {}",
+        spans[2],
+        spans[0],
+        spans[1]
+    );
+}
+
+#[test]
+fn baseline_distributors_run_end_to_end() {
+    let w = bernoulli(&BernoulliConfig {
+        size_gb: 4,
+        queries: 60,
+        ..BernoulliConfig::default()
+    });
+    let run = RunConfig {
+        cluster: cluster(),
+        ..RunConfig::default()
+    };
+    let disk = 1_000_000;
+
+    let mut hyper = HypergraphDistributor::new(&w.db, 6, disk, 50).with_block(disk / 4);
+    let m = run_workload(&w, &mut hyper, &MaxOfMins::new(run.phi_tuples()), &run);
+    assert_eq!(m.queries.len(), 60);
+
+    let mut thresh = ThresholdDistributor::new(&w.db, 6, disk, 50).with_block(disk / 4);
+    let m = run_workload(&w, &mut thresh, &MaxOfMins::new(run.phi_tuples()), &run);
+    assert_eq!(m.queries.len(), 60);
+    assert_eq!(m.peak_nodes, 6, "threshold clusters are fixed-size");
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let w = tpch(&TpchConfig {
+        size_gb: 5,
+        rounds: 1,
+        ..TpchConfig::default()
+    });
+    let a = run_nash(&w, 1_000_000);
+    let b = run_nash(&w, 1_000_000);
+    assert_eq!(a.queries, b.queries);
+    assert_eq!(a.total_transfer(), b.total_transfer());
+    assert!((a.total_cost - b.total_cost).abs() < 1e-9);
+}
+
+#[test]
+fn prices_buy_performance_end_to_end() {
+    // The paper's central promise, checked on the whole stack.
+    let mk = |price: f64| {
+        bernoulli(&BernoulliConfig {
+            size_gb: 5,
+            queries: 150,
+            price,
+            spacing: SimDuration::from_secs(5),
+            ..BernoulliConfig::default()
+        })
+    };
+    let run = RunConfig {
+        cluster: cluster(),
+        warmup_queries: 75,
+        ..RunConfig::default()
+    };
+    let go = |w: &Workload| {
+        let mut dist = NashDbDistributor::new(&w.db, nash_cfg(1_000_000));
+        run_workload(w, &mut dist, &MaxOfMins::new(run.phi_tuples()), &run)
+    };
+    let cheap = go(&mk(1.0));
+    let pricey = go(&mk(16.0));
+    assert!(
+        pricey.peak_nodes > cheap.peak_nodes,
+        "higher prices must provision more: {} vs {}",
+        pricey.peak_nodes,
+        cheap.peak_nodes
+    );
+    assert!(
+        pricey.mean_latency_secs() <= cheap.mean_latency_secs(),
+        "higher prices must not be slower: {} vs {}",
+        pricey.mean_latency_secs(),
+        cheap.mean_latency_secs()
+    );
+}

@@ -1,0 +1,191 @@
+//! Property tests over the routing and cluster layers.
+
+use proptest::prelude::*;
+
+use nashdb_core::ids::{FragmentId, NodeId, TableId};
+use nashdb_core::routing::{
+    Assignment, FragmentRequest, MaxOfMins, PowerOfTwoChoices, QueueView, ScanRouter,
+};
+use nashdb_baselines::{GreedySetCover, ShortestQueue};
+use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, QueryRequest, ScanRange};
+use nashdb_core::transition::{plan_transition, IntervalSet};
+use nashdb_sim::{SimDuration, SimTime};
+
+// ---------------------------------------------------------------------------
+// Routers
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Problem {
+    requests: Vec<FragmentRequest>,
+    waits: Vec<u64>,
+}
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (2usize..8).prop_flat_map(|nodes| {
+        let reqs = proptest::collection::vec(
+            (
+                1u64..100_000,
+                proptest::collection::hash_set(0..nodes as u64, 1..=nodes),
+            ),
+            1..20,
+        );
+        let waits = proptest::collection::vec(0u64..1_000_000, nodes..=nodes);
+        (reqs, waits).prop_map(|(reqs, waits)| Problem {
+            requests: reqs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (size, cands))| FragmentRequest {
+                    fragment: FragmentId(i as u64),
+                    size,
+                    candidates: cands.into_iter().map(NodeId).collect(),
+                })
+                .collect(),
+            waits,
+        })
+    })
+}
+
+fn check_router(router: &dyn ScanRouter, p: &Problem) -> Result<(), TestCaseError> {
+    let mut queues = QueueView::from_waits(p.waits.clone());
+    let out: Vec<Assignment> = router.route(&p.requests, &mut queues);
+    // Every request assigned exactly once, to one of its candidates.
+    prop_assert_eq!(out.len(), p.requests.len(), "router {}", router.name());
+    for req in &p.requests {
+        let assigned: Vec<&Assignment> =
+            out.iter().filter(|a| a.fragment == req.fragment).collect();
+        prop_assert_eq!(assigned.len(), 1);
+        prop_assert!(req.candidates.contains(&assigned[0].node));
+    }
+    // Work is conserved: total queue growth equals total request size.
+    let before: u64 = p.waits.iter().sum();
+    let after: u64 = (0..p.waits.len()).map(|n| queues.wait(NodeId(n as u64))).sum();
+    let work: u64 = p.requests.iter().map(|r| r.size).sum();
+    prop_assert_eq!(after - before, work);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn all_routers_satisfy_contract(p in arb_problem()) {
+        check_router(&MaxOfMins::new(50_000), &p)?;
+        check_router(&ShortestQueue, &p)?;
+        check_router(&GreedySetCover, &p)?;
+        check_router(&PowerOfTwoChoices::new(50_000, 9), &p)?;
+    }
+
+    /// Max-of-mins never assigns a request to a node strictly worse than
+    /// every alternative *at assignment time* is hard to check post hoc, but
+    /// a weaker global bound holds: its makespan (max queue) never exceeds
+    /// total work + max initial wait, and is no worse than 2x the best
+    /// possible balance over its own placements.
+    #[test]
+    fn max_of_mins_makespan_bounded(p in arb_problem()) {
+        let mut queues = QueueView::from_waits(p.waits.clone());
+        let _ = MaxOfMins::new(0).route(&p.requests, &mut queues);
+        let max_after = (0..p.waits.len())
+            .map(|n| queues.wait(NodeId(n as u64)))
+            .max()
+            .unwrap();
+        let total: u64 = p.requests.iter().map(|r| r.size).sum();
+        let max_before = *p.waits.iter().max().unwrap();
+        prop_assert!(max_after <= max_before + total);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster simulator
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SimPlan {
+    nodes: usize,
+    queries: Vec<(u64, Vec<(usize, u64)>)>, // (arrival secs, reads (node, tuples))
+}
+
+fn arb_sim_plan() -> impl Strategy<Value = SimPlan> {
+    (1usize..5).prop_flat_map(|nodes| {
+        proptest::collection::vec(
+            (
+                0u64..600,
+                proptest::collection::vec((0..nodes, 1u64..500_000), 1..6),
+            ),
+            1..25,
+        )
+        .prop_map(move |mut queries| {
+            queries.sort_by_key(|q| q.0);
+            SimPlan { nodes, queries }
+        })
+    })
+}
+
+proptest! {
+    /// Conservation and sanity on the simulator: every query completes, read
+    /// throughput equals dispatched tuples, latency is at least the largest
+    /// single read's service time, and cost is positive.
+    #[test]
+    fn cluster_conserves_work(plan in arb_sim_plan()) {
+        let tps = 100_000.0;
+        let mut sim = ClusterSim::new(ClusterConfig {
+            throughput_tps: tps,
+            node_cost_per_hour: 60.0,
+            metrics_bucket: SimDuration::from_secs(60),
+        });
+        let sets: Vec<IntervalSet> = (0..plan.nodes)
+            .map(|i| IntervalSet::from_intervals([(i as u64 * 10, i as u64 * 10 + 5)]))
+            .collect();
+        sim.reconfigure(&plan_transition(&[], &sets));
+
+        for (at, _) in &plan.queries {
+            sim.schedule_query(
+                SimTime::from_secs(*at),
+                QueryRequest {
+                    price: 1.0,
+                    scans: vec![ScanRange::new(TableId(0), 0, 1)],
+                    tag: 0,
+                },
+            );
+        }
+        let mut idx = 0usize;
+        let mut completed = 0usize;
+        loop {
+            match sim.next_event() {
+                DriverEvent::QueryArrived { id, .. } => {
+                    let reads: Vec<(NodeId, u64)> = plan.queries[idx]
+                        .1
+                        .iter()
+                        .map(|&(n, t)| (NodeId(n as u64), t))
+                        .collect();
+                    idx += 1;
+                    sim.dispatch(id, &reads);
+                }
+                DriverEvent::QueryCompleted { id, latency } => {
+                    completed += 1;
+                    // Latency at least the biggest read of that query.
+                    let q = &plan.queries[id.get() as usize];
+                    let biggest = q.1.iter().map(|&(_, t)| t).max().unwrap();
+                    let floor = biggest as f64 / tps;
+                    prop_assert!(
+                        latency.as_secs_f64() >= floor - 1e-6,
+                        "latency {} below service floor {}",
+                        latency.as_secs_f64(),
+                        floor
+                    );
+                }
+                DriverEvent::Wakeup { .. } => {}
+                DriverEvent::Finished => break,
+            }
+        }
+        prop_assert_eq!(completed, plan.queries.len());
+        let metrics = sim.finish();
+        prop_assert_eq!(metrics.queries.len(), plan.queries.len());
+        let dispatched: u64 = plan
+            .queries
+            .iter()
+            .flat_map(|(_, reads)| reads.iter().map(|&(_, t)| t))
+            .sum();
+        prop_assert!((metrics.read_throughput.total() - dispatched as f64).abs() < 0.5);
+        prop_assert!(metrics.total_cost > 0.0);
+        prop_assert_eq!(metrics.peak_nodes, plan.nodes);
+    }
+}
