@@ -85,7 +85,10 @@ mod tests {
         for k in 2..=6 {
             let dt_err = dt_fragmentation(&chunks, k).total_error(&prefix);
             let opt_err = optimal_fragmentation(&chunks, k).total_error(&prefix);
-            assert!(dt_err + 1e-9 >= opt_err, "k={k}: dt {dt_err} < opt {opt_err}");
+            assert!(
+                dt_err + 1e-9 >= opt_err,
+                "k={k}: dt {dt_err} < opt {opt_err}"
+            );
         }
     }
 

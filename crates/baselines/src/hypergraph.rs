@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 
 use nashdb_cluster::QueryRequest;
 use nashdb_core::fragment::{split_oversized, FragmentRange, Fragmentation};
+use nashdb_core::num::{saturating_u64, usize_from};
 use nashdb_workload::Database;
 
 use nashdb::{DistScheme, Distributor, GlobalFragment};
@@ -41,7 +42,7 @@ pub fn hypergraph_fragmentation(
 ) -> Fragmentation {
     assert!(parts > 0, "need at least one partition");
     assert!(table_len > 0, "cannot partition an empty table");
-    let parts = parts.min(table_len as usize);
+    let parts = parts.min(usize_from(table_len));
     if parts == 1 {
         return Fragmentation::single(table_len);
     }
@@ -70,8 +71,8 @@ pub fn hypergraph_fragmentation(
         .collect();
 
     let avg = table_len as f64 / parts as f64;
-    let min_sz = (avg / BALANCE).floor() as u64;
-    let max_sz = (avg * BALANCE).ceil() as u64;
+    let min_sz = saturating_u64((avg / BALANCE).floor());
+    let max_sz = saturating_u64((avg * BALANCE).ceil());
     let feasible = |a: u64, b: u64| {
         let sz = b - a;
         sz >= min_sz.max(1) && sz <= max_sz
@@ -126,6 +127,7 @@ pub fn hypergraph_fragmentation(
 /// The end-to-end Hypergraph distributor: global contiguous min-cut
 /// partitions (one node each) plus span-repairing replication into leftover
 /// disk space.
+#[derive(Debug)]
 pub struct HypergraphDistributor {
     db: Database,
     /// Partition count (the tuning knob; = primary node count).
@@ -179,7 +181,7 @@ impl HypergraphDistributor {
         q.scans
             .iter()
             .map(|s| {
-                let off = self.offsets[s.table.get() as usize];
+                let off = self.offsets[usize_from(s.table.get())];
                 (off + s.start, off + s.end)
             })
             .collect()
@@ -251,7 +253,7 @@ impl Distributor for HypergraphDistributor {
         let frag_global: Vec<(u64, u64)> = fragments
             .iter()
             .map(|gf| {
-                let off = self.offsets[gf.table.get() as usize];
+                let off = self.offsets[usize_from(gf.table.get())];
                 (off + gf.range.start, off + gf.range.end)
             })
             .collect();

@@ -1,10 +1,11 @@
 //! The *Naive* fragmentation baseline (paper §10.1): equal-size fragments.
 
 use nashdb_core::fragment::Fragmentation;
+use nashdb_core::num::usize_from;
 
 /// Cuts `table_len` tuples into `count` near-equal fragments.
 pub fn naive_fragmentation(table_len: u64, count: usize) -> Fragmentation {
-    Fragmentation::equal_width(table_len, count.min(table_len as usize).max(1))
+    Fragmentation::equal_width(table_len, count.min(usize_from(table_len)).max(1))
 }
 
 #[cfg(test)]

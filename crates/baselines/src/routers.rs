@@ -26,12 +26,12 @@ impl ScanRouter for ShortestQueue {
                     "fragment {} has no replicas to read",
                     req.fragment
                 );
-                let node = req
-                    .candidates
-                    .iter()
-                    .copied()
-                    .min_by_key(|&n| (queues.wait(n), n))
-                    .expect("nonempty");
+                let mut node = req.candidates[0];
+                for &n in &req.candidates[1..] {
+                    if (queues.wait(n), n) < (queues.wait(node), node) {
+                        node = n;
+                    }
+                }
                 queues.enqueue(node, req.size);
                 Assignment {
                     fragment: req.fragment,
@@ -76,10 +76,16 @@ impl ScanRouter for GreedySetCover {
                         .iter()
                         .filter(|r| r.candidates.contains(&n))
                         .count();
-                    (covers, std::cmp::Reverse(queues.wait(n)), std::cmp::Reverse(n))
+                    (
+                        covers,
+                        std::cmp::Reverse(queues.wait(n)),
+                        std::cmp::Reverse(n),
+                    )
                 })
-                .max()
-                .expect("at least one candidate node");
+                .max();
+            // Every remaining request has at least one candidate (asserted
+            // above), so a round always finds a node.
+            let Some(best) = best else { break };
             let node = best.2 .0;
             let mut i = 0;
             while i < remaining.len() {
@@ -122,7 +128,11 @@ mod tests {
         let r = ShortestQueue;
         let mut q = QueueView::new(3);
         let out = r.route(
-            &[req(0, 10, &[0, 1, 2]), req(1, 10, &[0, 1, 2]), req(2, 10, &[0, 1, 2])],
+            &[
+                req(0, 10, &[0, 1, 2]),
+                req(1, 10, &[0, 1, 2]),
+                req(2, 10, &[0, 1, 2]),
+            ],
             &mut q,
         );
         // Perfect spread: span 3.
@@ -166,7 +176,10 @@ mod tests {
         let r = GreedySetCover;
         let mut q = QueueView::new(3);
         // No single node covers everything.
-        let out = r.route(&[req(0, 10, &[0]), req(1, 10, &[1]), req(2, 10, &[1])], &mut q);
+        let out = r.route(
+            &[req(0, 10, &[0]), req(1, 10, &[1]), req(2, 10, &[1])],
+            &mut q,
+        );
         assert_eq!(out.len(), 3);
         assert_eq!(span(&out), 2);
     }

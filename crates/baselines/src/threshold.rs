@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use nashdb_cluster::QueryRequest;
 use nashdb_core::fragment::FragmentRange;
 use nashdb_core::ids::TableId;
+use nashdb_core::num::{saturating_u64, usize_from};
 use nashdb_workload::Database;
 
 use nashdb::{DistScheme, Distributor, GlobalFragment};
@@ -33,6 +34,7 @@ struct WindowedScan {
 }
 
 /// The Threshold distributor.
+#[derive(Debug)]
 pub struct ThresholdDistributor {
     db: Database,
     /// Fixed cluster size (the tuning knob).
@@ -87,7 +89,7 @@ impl ThresholdDistributor {
             .db
             .tables
             .iter()
-            .map(|t| (t.tuples.div_ceil(block) as usize).clamp(1, 4096))
+            .map(|t| usize_from(t.tuples.div_ceil(block)).clamp(1, 4096))
             .collect();
         self.counts = self.blocks_of.iter().map(|&b| vec![0u64; b]).collect();
         self.window.clear();
@@ -107,8 +109,8 @@ impl ThresholdDistributor {
         let nblocks = self.blocks_of[scan.table];
         let b = nblocks as u64;
         // Blocks overlapping [start, end).
-        let first = (scan.start * b / tuples) as usize;
-        let last = (((scan.end - 1) * b) / tuples) as usize;
+        let first = usize_from(scan.start * b / tuples);
+        let last = usize_from((scan.end - 1) * b / tuples);
         for blk in first..=last.min(nblocks - 1) {
             let c = &mut self.counts[scan.table][blk];
             if delta > 0 {
@@ -124,16 +126,17 @@ impl Distributor for ThresholdDistributor {
     fn observe(&mut self, query: &QueryRequest) {
         for s in &query.scans {
             let w = WindowedScan {
-                table: s.table.get() as usize,
+                table: usize_from(s.table.get()),
                 start: s.start,
-                end: s.end.min(self.db.tables[s.table.get() as usize].tuples),
+                end: s.end.min(self.db.tables[usize_from(s.table.get())].tuples),
             };
             if w.start >= w.end {
                 continue;
             }
             if self.window.len() == self.capacity {
-                let old = self.window.pop_front().expect("full window");
-                self.bump(old, -1);
+                if let Some(old) = self.window.pop_front() {
+                    self.bump(old, -1);
+                }
             }
             self.window.push_back(w);
             self.bump(w, 1);
@@ -160,7 +163,7 @@ impl Distributor for ThresholdDistributor {
                 let range = self.block_range(t, b);
                 let hot = count as f64 > HOT_FACTOR * mean;
                 let replicas = if hot {
-                    ((count as f64 / mean).round() as u64).clamp(2, self.nodes as u64)
+                    saturating_u64((count as f64 / mean).round()).clamp(2, self.nodes as u64)
                 } else {
                     1
                 };
@@ -188,10 +191,10 @@ impl Distributor for ThresholdDistributor {
                 let size = b.frag.range.size();
                 // The node whose slice the block's midpoint falls in; bump
                 // forward if that node's disk is already full.
-                let mut node =
-                    (((cum + size / 2) as u128 * self.nodes as u128 / total.max(1) as u128)
-                        as usize)
-                        .min(self.nodes - 1);
+                let slice = (cum + size / 2) as u128 * self.nodes as u128 / total.max(1) as u128;
+                let mut node = usize::try_from(slice)
+                    .unwrap_or(usize::MAX)
+                    .min(self.nodes - 1);
                 while node_used[node] + size > self.disk {
                     node += 1;
                     assert!(

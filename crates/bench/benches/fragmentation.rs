@@ -33,18 +33,18 @@ fn bench_algorithms(c: &mut Criterion) {
     for m in [64usize, 128, 256] {
         let chunks = chunk_series(m, 7);
         group.bench_with_input(BenchmarkId::new("optimal_dp", m), &m, |b, _| {
-            b.iter(|| black_box(optimal_fragmentation(&chunks, k).len()))
+            b.iter(|| black_box(optimal_fragmentation(&chunks, k).len()));
         });
         group.bench_with_input(BenchmarkId::new("greedy", m), &m, |b, _| {
             b.iter(|| {
-                let table = chunks.last().unwrap().end;
+                let table = chunks.last().map_or(0, |c| c.end);
                 let mut g = GreedyFragmenter::new(table, k);
                 g.run(&chunks, 4 * k);
                 black_box(g.len())
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("dt", m), &m, |b, _| {
-            b.iter(|| black_box(dt_fragmentation(&chunks, k).len()))
+            b.iter(|| black_box(dt_fragmentation(&chunks, k).len()));
         });
     }
     group.finish();
@@ -56,7 +56,7 @@ fn bench_incremental_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("fragmentation/incremental_round");
     for m in [64usize, 256] {
         let chunks = chunk_series(m, 9);
-        let table = chunks.last().unwrap().end;
+        let table = chunks.last().map_or(0, |c| c.end);
         let mut g = GreedyFragmenter::new(table, 32);
         g.run(&chunks, 128);
         // A shifted value function over the same table span.
@@ -65,7 +65,7 @@ fn bench_incremental_round(c: &mut Criterion) {
             b.iter(|| {
                 let mut g2 = g.clone();
                 black_box(g2.step(&shifted))
-            })
+            });
         });
     }
     group.finish();
@@ -73,14 +73,14 @@ fn bench_incremental_round(c: &mut Criterion) {
 
 /// Rescales a chunk series to span exactly `[0, table)`.
 fn respan(chunks: &[Chunk], table: u64) -> Vec<Chunk> {
-    let total = chunks.last().unwrap().end;
+    let total = chunks.last().map_or(1, |c| c.end);
     let mut out = Vec::with_capacity(chunks.len());
     let mut prev = 0u64;
     for (i, c) in chunks.iter().enumerate() {
         let end = if i + 1 == chunks.len() {
             table
         } else {
-            (c.end as u128 * table as u128 / total as u128) as u64
+            u64::try_from(c.end as u128 * table as u128 / total as u128).unwrap_or(u64::MAX)
         };
         if end > prev {
             out.push(Chunk {

@@ -20,7 +20,7 @@ fn bench_hungarian(c: &mut Criterion) {
     for n in [16usize, 64, 128, 256] {
         let cost = random_matrix(n, 11);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(hungarian(&cost).1))
+            b.iter(|| black_box(hungarian(&cost).1));
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_plan_transition(c: &mut Criterion) {
         let old: Vec<IntervalSet> = (0..n).map(|_| mk(&mut rng)).collect();
         let new: Vec<IntervalSet> = (0..n + n / 8).map(|_| mk(&mut rng)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(plan_transition(&old, &new).total_transfer))
+            b.iter(|| black_box(plan_transition(&old, &new).total_transfer));
         });
     }
     group.finish();

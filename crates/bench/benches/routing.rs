@@ -6,7 +6,12 @@ use nashdb_core::ids::{FragmentId, NodeId};
 use nashdb_core::routing::{FragmentRequest, MaxOfMins, QueueView, ScanRouter};
 use nashdb_sim::SimRng;
 
-fn problem(requests: usize, nodes: usize, replicas: usize, seed: u64) -> (Vec<FragmentRequest>, Vec<u64>) {
+fn problem(
+    requests: usize,
+    nodes: usize,
+    replicas: usize,
+    seed: u64,
+) -> (Vec<FragmentRequest>, Vec<u64>) {
     let mut rng = SimRng::seed_from_u64(seed);
     let reqs = (0..requests)
         .map(|i| {
@@ -38,19 +43,23 @@ fn bench_routers(c: &mut Criterion) {
             b.iter(|| {
                 let mut q = QueueView::from_waits(waits.clone());
                 black_box(router.route(&reqs, &mut q).len())
-            })
+            });
         });
-        group.bench_with_input(BenchmarkId::new("shortest_queue", &id), &requests, |b, _| {
-            b.iter(|| {
-                let mut q = QueueView::from_waits(waits.clone());
-                black_box(ShortestQueue.route(&reqs, &mut q).len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shortest_queue", &id),
+            &requests,
+            |b, _| {
+                b.iter(|| {
+                    let mut q = QueueView::from_waits(waits.clone());
+                    black_box(ShortestQueue.route(&reqs, &mut q).len())
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("greedy_sc", &id), &requests, |b, _| {
             b.iter(|| {
                 let mut q = QueueView::from_waits(waits.clone());
                 black_box(GreedySetCover.route(&reqs, &mut q).len())
-            })
+            });
         });
     }
     group.finish();

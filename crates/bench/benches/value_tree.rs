@@ -4,6 +4,9 @@
 //! insertion (with window eviction) and full value recovery (Algorithm 1)
 //! at several window sizes.
 
+// Bench code: panicking on setup failure is the correct behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use nashdb_core::value::{
     AvlValueTree, BTreeValueTree, PricedScan, TupleValueEstimator, ValueTreeBackend,
@@ -34,8 +37,8 @@ fn bench_insert_evict(c: &mut Criterion) {
                 for s in &scans {
                     est.observe(*s);
                 }
-                black_box(est.tracked_keys())
-            })
+                black_box(est.tracked_keys());
+            });
         });
         group.bench_with_input(BenchmarkId::new("btree", window), &window, |b, &w| {
             b.iter(|| {
@@ -44,8 +47,8 @@ fn bench_insert_evict(c: &mut Criterion) {
                 for s in &scans {
                     est.observe(*s);
                 }
-                black_box(est.tracked_keys())
-            })
+                black_box(est.tracked_keys());
+            });
         });
     }
     group.finish();
@@ -62,10 +65,14 @@ fn bench_iterate(c: &mut Criterion) {
             bt.observe(*s);
         }
         group.bench_with_input(BenchmarkId::new("avl", window), &window, |b, _| {
-            b.iter(|| black_box(avl.chunks(TABLE).len()))
+            b.iter(|| {
+                black_box(avl.chunks(TABLE).len());
+            });
         });
         group.bench_with_input(BenchmarkId::new("btree", window), &window, |b, _| {
-            b.iter(|| black_box(bt.chunks(TABLE).len()))
+            b.iter(|| {
+                black_box(bt.chunks(TABLE).len());
+            });
         });
     }
     group.finish();
@@ -81,10 +88,10 @@ fn bench_raw_tree_ops(c: &mut Criterion) {
                 t.add_scan(s);
             }
             for s in &scans {
-                t.remove_scan(s);
+                t.remove_scan(s).unwrap();
             }
-            black_box(t.is_empty())
-        })
+            black_box(t.is_empty());
+        });
     });
     group.bench_function("btree", |b| {
         b.iter(|| {
@@ -93,13 +100,18 @@ fn bench_raw_tree_ops(c: &mut Criterion) {
                 t.add_scan(s);
             }
             for s in &scans {
-                t.remove_scan(s);
+                t.remove_scan(s).unwrap();
             }
-            black_box(t.is_empty())
-        })
+            black_box(t.is_empty());
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_insert_evict, bench_iterate, bench_raw_tree_ops);
+criterion_group!(
+    benches,
+    bench_insert_evict,
+    bench_iterate,
+    bench_raw_tree_ops
+);
 criterion_main!(benches);

@@ -11,7 +11,9 @@
 use std::process::exit;
 
 use nashdb::{run_workload, Distributor, NashDbDistributor, ScanRouter};
-use nashdb_baselines::{GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor};
+use nashdb_baselines::{
+    GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor,
+};
 use nashdb_bench::env::{ExpEnv, WINDOW};
 use nashdb_core::routing::{MaxOfMins, PowerOfTwoChoices};
 use nashdb_sim::SimDuration;

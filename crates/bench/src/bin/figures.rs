@@ -28,9 +28,20 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+    // Reject bad ids before running anything — a typo after an hour-long
+    // sweep should not cost the sweep.
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(id) {
+            eprintln!("figures: unknown experiment id {id:?} (run with --list for the known ids)");
+            std::process::exit(2);
+        }
+    }
     for id in ids {
         let t0 = Instant::now();
-        run_experiment(id);
+        if let Err(e) = run_experiment(id) {
+            eprintln!("figures: {e}");
+            std::process::exit(2);
+        }
         println!("  [{id} took {:.1}s]", t0.elapsed().as_secs_f64());
     }
 }

@@ -7,9 +7,12 @@
 //! would have sized `Cost/Disk` against their query prices.
 
 use nashdb::{run_workload, Distributor, NashDbConfig, NashDbDistributor, RunConfig, ScanRouter};
-use nashdb_baselines::{GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor};
+use nashdb_baselines::{
+    GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor,
+};
 use nashdb_cluster::{ClusterConfig, Metrics};
 use nashdb_core::economics::NodeSpec;
+use nashdb_core::num::{saturating_u64, usize_from};
 use nashdb_core::routing::MaxOfMins;
 use nashdb_sim::SimDuration;
 use nashdb_workload::Workload;
@@ -40,7 +43,7 @@ impl ExpEnv {
         let total = w.db.total_tuples();
         let largest = w.db.fact_table().tuples;
         // Nodes must be able to host a balanced share but not the world.
-        let disk = ((total as f64 * disk_frac) as u64)
+        let disk = saturating_u64(total as f64 * disk_frac)
             .max(largest / 16)
             .max(1_000);
 
@@ -49,31 +52,28 @@ impl ExpEnv {
         // fragment's Ideal(f) = |W| · V̄ · Disk / Cost lands on the target.
         // (A mean-based estimate badly underestimates V̄: per-tuple scan
         // weight is price/size and E[1/size] is dominated by small scans.)
-        let mut estimators: Vec<nashdb_core::value::TupleValueEstimator> = w
-            .db
-            .tables
-            .iter()
-            .map(|_| nashdb_core::value::TupleValueEstimator::new(WINDOW))
-            .collect();
+        let mut estimators: Vec<nashdb_core::value::TupleValueEstimator> =
+            w.db.tables
+                .iter()
+                .map(|_| nashdb_core::value::TupleValueEstimator::new(WINDOW))
+                .collect();
         let mut pool: Vec<(u64, f64)> = Vec::new(); // (tuples, value) samples
         let sample_every = (w.queries.len() / 40).max(1);
         let steady = w.queries.len() / 2;
         // Matches the distributor's block-floored income (see
         // NashDbDistributor::observe) so calibration sees the same V.
-        let replay_block = (200_000.0f64 * 10.0) as u64;
+        let replay_block = saturating_u64(200_000.0 * 10.0);
         for (i, tq) in w.queries.iter().enumerate() {
             let total: u64 = tq.query.scans.iter().map(|s| s.size()).sum();
             for s in &tq.query.scans {
-                let t = s.table.get() as usize;
+                let t = usize_from(s.table.get());
                 let end = s.end.min(w.db.tables[t].tuples);
                 if s.start < end && total > 0 {
                     let size = end - s.start;
                     let effective = size.max(replay_block.min(w.db.tables[t].tuples));
                     let price = tq.query.price * s.size() as f64 / total as f64
                         * (size as f64 / effective as f64);
-                    estimators[t].observe(nashdb_core::value::PricedScan::new(
-                        s.start, end, price,
-                    ));
+                    estimators[t].observe(nashdb_core::value::PricedScan::new(s.start, end, price));
                 }
             }
             if i >= steady && (i % sample_every == 0 || i + 1 == w.queries.len()) {
@@ -91,7 +91,7 @@ impl ExpEnv {
         // scans create value spikes orders of magnitude above the bulk, and
         // pinning the *peak* to the target would starve the bulk-read
         // regions at one replica.
-        pool.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1));
         let total_tuples: u64 = pool.iter().map(|&(n, _)| n).sum();
         let mut cum = 0u64;
         let mut v_ref = pool.last().map_or(0.0, |&(_, v)| v);
@@ -112,7 +112,7 @@ impl ExpEnv {
         // Read-block cap: a single fragment read should take ~10 s of disk
         // time, as with block-sized fragments in the paper (fragments are
         // both the replica unit and the read unit).
-        let block = (cluster.throughput_tps * 10.0) as u64;
+        let block = saturating_u64(cluster.throughput_tps * 10.0);
         ExpEnv {
             run: RunConfig {
                 cluster,
@@ -264,5 +264,5 @@ pub fn observe_all(dist: &mut dyn Distributor, w: &Workload) {
 /// Minimum node count that can hold one copy of the database on
 /// `disk`-tuple nodes (Threshold's feasibility floor).
 pub fn min_nodes(w: &Workload, disk: u64) -> usize {
-    (w.db.total_tuples().div_ceil(disk)) as usize + 1
+    usize_from(w.db.total_tuples().div_ceil(disk)) + 1
 }

@@ -13,9 +13,7 @@ use std::time::Instant;
 use nashdb_core::fragment::{
     fragment_stats, split_oversized, ChunkPrefix, Fragmentation, GreedyFragmenter, MergePolicy,
 };
-use nashdb_core::replication::hetero::{
-    decide_replicas_hetero, pack_bffd_hetero, NodeClass,
-};
+use nashdb_core::replication::hetero::{decide_replicas_hetero, pack_bffd_hetero, NodeClass};
 use nashdb_core::replication::market::{simulate_market, MarketConfig};
 use nashdb_core::replication::{decide_replicas, ReplicationPolicy};
 use nashdb_core::routing::PowerOfTwoChoices;
@@ -51,13 +49,10 @@ pub fn run_market() {
             est.observe(PricedScan::new(a, (a + len).min(table), 1.0));
         }
         let chunks = est.chunks(table);
-        let frag = split_oversized(
-            &Fragmentation::single(table),
-            (table / frags as u64).max(1),
-        );
+        let frag = split_oversized(&Fragmentation::single(table), (table / frags as u64).max(1));
         let stats = fragment_stats(&frag, &chunks);
-        let policy = ReplicationPolicy::new(WINDOW, NodeSpec::new(0.25, 1_000_000))
-            .with_max_replicas(4_096);
+        let policy =
+            ReplicationPolicy::new(WINDOW, NodeSpec::new(0.25, 1_000_000)).with_max_replicas(4_096);
 
         let t0 = Instant::now();
         let decisions = decide_replicas(&stats, &policy);
@@ -82,7 +77,7 @@ pub fn run_market() {
             fmt(market_us),
             format!("{}", outcome.rounds),
             format!("{}", outcome.actions),
-            format!("{}", same),
+            format!("{same}"),
         ]);
         assert!(outcome.converged, "market failed to converge");
     }
@@ -101,23 +96,22 @@ pub fn run_merge2() {
         let mut sums = [0.0f64; 2];
         let policies = [MergePolicy::TripleToPair, MergePolicy::PairToOne];
         for (slot, policy) in policies.iter().enumerate() {
-            let mut tables: Vec<(TupleValueEstimator, GreedyFragmenter, u64)> = w
-                .db
-                .tables
-                .iter()
-                .map(|t| {
-                    (
-                        TupleValueEstimator::new(WINDOW),
-                        GreedyFragmenter::new(t.tuples, MAX_FRAGS).with_merge_policy(*policy),
-                        t.tuples,
-                    )
-                })
-                .collect();
+            let mut tables: Vec<(TupleValueEstimator, GreedyFragmenter, u64)> =
+                w.db.tables
+                    .iter()
+                    .map(|t| {
+                        (
+                            TupleValueEstimator::new(WINDOW),
+                            GreedyFragmenter::new(t.tuples, MAX_FRAGS).with_merge_policy(*policy),
+                            t.tuples,
+                        )
+                    })
+                    .collect();
             for tq in &w.queries {
                 let total: u64 = tq.query.scans.iter().map(|s| s.size()).sum();
                 let mut touched = Vec::new();
                 for s in &tq.query.scans {
-                    let t = s.table.get() as usize;
+                    let t = nashdb_core::num::usize_from(s.table.get());
                     let end = s.end.min(tables[t].2);
                     if s.start < end && total > 0 {
                         let price = tq.query.price * s.size() as f64 / total as f64;
@@ -173,7 +167,9 @@ pub fn run_hetero() {
             error: 0.0,
         }];
         let d = &decide_replicas_hetero(&stats, WINDOW, &classes)[0];
-        let nodes = pack_bffd_hetero(&stats, std::slice::from_ref(d), &classes).unwrap();
+        let packed = pack_bffd_hetero(&stats, std::slice::from_ref(d), &classes);
+        assert!(packed.is_ok(), "hetero packing failed: {packed:?}");
+        let nodes = packed.unwrap_or_default();
         assert_eq!(nodes.len() as u64, d.total(), "one node per replica here");
         rows.push((value, d.total(), d.per_class[1], d.per_class[0]));
         row(&[
@@ -184,7 +180,9 @@ pub fn run_hetero() {
         ]);
     }
     // The cheap tier fills before the pricey tier hosts anything.
-    assert!(rows.iter().all(|&(_, _, cheap, nvme)| nvme == 0 || cheap == 8));
+    assert!(rows
+        .iter()
+        .all(|&(_, _, cheap, nvme)| nvme == 0 || cheap == 8));
     println!("  replicas occupy the cheap class first and spill to NVMe only once");
     println!("  all 8 HDD boxes hold a copy — the market's answer to tiering.");
 }
@@ -195,7 +193,12 @@ pub fn run_p2c() {
     table_header(&["workload", "router", "lat (s)", "avg span"]);
     for w in [super::random_dynamic(), super::real1_dynamic()] {
         let env = ExpEnv::for_workload(&w, 1.0 / 8.0);
-        let m = run_system(&w, System::NashDb { price_mult: 1.0 }, Router::MaxOfMins, &env);
+        let m = run_system(
+            &w,
+            System::NashDb { price_mult: 1.0 },
+            Router::MaxOfMins,
+            &env,
+        );
         row(&[
             w.name.clone(),
             "Max of mins".into(),

@@ -78,7 +78,10 @@ impl TableTrack {
 }
 
 fn tracks_for(w: &Workload) -> Vec<TableTrack> {
-    w.db.tables.iter().map(|t| TableTrack::new(t.tuples)).collect()
+    w.db.tables
+        .iter()
+        .map(|t| TableTrack::new(t.tuples))
+        .collect()
 }
 
 fn observe_query(tracks: &mut [TableTrack], tq: &nashdb_workload::TimedQuery) -> Vec<usize> {
@@ -86,7 +89,7 @@ fn observe_query(tracks: &mut [TableTrack], tq: &nashdb_workload::TimedQuery) ->
     let mut touched = Vec::new();
     for s in &tq.query.scans {
         let price = tq.query.price * s.size() as f64 / total as f64;
-        let t = s.table.get() as usize;
+        let t = nashdb_core::num::usize_from(s.table.get());
         tracks[t].observe(s.start, s.end, price);
         if !touched.contains(&t) {
             touched.push(t);

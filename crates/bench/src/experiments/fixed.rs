@@ -68,7 +68,7 @@ fn sweep(w: &Workload) -> WorkloadSweep {
     }
     let floor = min_nodes(w, env.disk);
     for mult in [1.0, 1.5, 2.0, 3.0, 4.0] {
-        let n = ((floor as f64 * mult) as usize).max(floor);
+        let n = nashdb_core::num::saturating_usize(floor as f64 * mult).max(floor);
         let m = run_system(w, System::Hypergraph { parts: n }, Router::MaxOfMins, &env);
         points.push(summarize("Hypergraph", n as f64, &m));
         let m = run_system(w, System::Threshold { nodes: n }, Router::MaxOfMins, &env);
@@ -97,10 +97,15 @@ pub fn sweeps() -> &'static [WorkloadSweep] {
 
 /// NashDB's reference point (price multiplier 1.0).
 fn reference(ws: &WorkloadSweep) -> &SysPoint {
-    ws.points
+    let found = ws
+        .points
         .iter()
-        .find(|p| p.system == "NashDB" && (p.param - 1.0).abs() < 1e-9)
-        .expect("reference point swept")
+        .find(|p| p.system == "NashDB" && (p.param - 1.0).abs() < 1e-9);
+    let Some(found) = found else {
+        // sweeps() always includes NashDB at price multiplier 1.0.
+        unreachable!("reference point swept")
+    };
+    found
 }
 
 /// The configuration of `system` whose `key` is closest to `target`.
@@ -110,16 +115,16 @@ fn closest<'a>(
     target: f64,
     key: impl Fn(&SysPoint) -> f64,
 ) -> &'a SysPoint {
-    ws.points
+    let found = ws
+        .points
         .iter()
         .filter(|p| p.system == system)
-        .min_by(|a, b| {
-            (key(a) - target)
-                .abs()
-                .partial_cmp(&(key(b) - target).abs())
-                .expect("finite metrics")
-        })
-        .expect("system swept")
+        .min_by(|a, b| (key(a) - target).abs().total_cmp(&(key(b) - target).abs()));
+    let Some(found) = found else {
+        // sweeps() runs every system named by the callers.
+        unreachable!("system swept")
+    };
+    found
 }
 
 /// Fig. 8a: monetary cost after calibrating every system to NashDB's

@@ -52,7 +52,7 @@ pub fn sweep(w: &Workload, env: &ExpEnv) -> Vec<Point> {
     }
     let floor = min_nodes(w, env.disk);
     for mult in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
-        let parts = ((floor as f64 * mult) as usize).max(floor);
+        let parts = nashdb_core::num::saturating_usize(floor as f64 * mult).max(floor);
         let m = run_system(w, System::Hypergraph { parts }, Router::MaxOfMins, env);
         points.push(Point {
             system: "Hypergraph",
@@ -60,7 +60,12 @@ pub fn sweep(w: &Workload, env: &ExpEnv) -> Vec<Point> {
             latency: m.mean_latency_secs(),
             cost: m.total_cost,
         });
-        let m = run_system(w, System::Threshold { nodes: parts }, Router::MaxOfMins, env);
+        let m = run_system(
+            w,
+            System::Threshold { nodes: parts },
+            Router::MaxOfMins,
+            env,
+        );
         points.push(Point {
             system: "Threshold",
             param: parts as f64,

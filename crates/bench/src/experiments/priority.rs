@@ -14,12 +14,22 @@ use crate::header;
 /// Fig. 6c: uniform price sweep over the TPC-H batch.
 pub fn run_uniform_price() {
     header("Fig 6c — TPC-H latency vs uniform query price");
-    table_header(&["price(1/100c)", "peak nodes", "mean lat (s)", "stdev (s)", "cost"]);
+    table_header(&[
+        "price(1/100c)",
+        "peak nodes",
+        "mean lat (s)",
+        "stdev (s)",
+        "cost",
+    ]);
     for price in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let w = super::tpch_static(price);
-        let env = ExpEnv::for_workload(&super::tpch_static(1.0), 1.0 / 8.0)
-            .warmed(w.queries.len());
-        let m = run_system(&w, System::NashDb { price_mult: 1.0 }, Router::MaxOfMins, &env);
+        let env = ExpEnv::for_workload(&super::tpch_static(1.0), 1.0 / 8.0).warmed(w.queries.len());
+        let m = run_system(
+            &w,
+            System::NashDb { price_mult: 1.0 },
+            Router::MaxOfMins,
+            &env,
+        );
         let mean = m.mean_latency_secs();
         let var = m
             .queries
@@ -44,19 +54,18 @@ pub fn run_uniform_price() {
 /// Fig. 9a: sweep template #7's price while all others stay at 1/100 cent.
 pub fn run_template_price() {
     header("Fig 9a — per-template prioritization (TPC-H template #7)");
-    table_header(&[
-        "t7 price",
-        "t7 lat (s)",
-        "other lat (s)",
-        "cost",
-    ]);
+    table_header(&["t7 price", "t7 lat (s)", "other lat (s)", "cost"]);
     for t7_price in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let w = super::tpch_prioritized(1.0, 7, t7_price);
-        let env = ExpEnv::for_workload(&super::tpch_static(1.0), 1.0 / 8.0)
-            .warmed(w.queries.len());
-        let m = run_system(&w, System::NashDb { price_mult: 1.0 }, Router::MaxOfMins, &env);
+        let env = ExpEnv::for_workload(&super::tpch_static(1.0), 1.0 / 8.0).warmed(w.queries.len());
+        let m = run_system(
+            &w,
+            System::NashDb { price_mult: 1.0 },
+            Router::MaxOfMins,
+            &env,
+        );
         // Query ids are assigned in schedule order = workload order.
-        let tag_of = |id: u64| w.queries[id as usize].query.tag;
+        let tag_of = |id: u64| w.queries[nashdb_core::num::usize_from(id)].query.tag;
         let (mut t7, mut t7n, mut other, mut on) = (0.0, 0u32, 0.0, 0u32);
         for q in &m.queries {
             let l = q.latency().as_secs_f64();

@@ -35,7 +35,11 @@ pub fn runs() -> &'static [RouterPoint] {
             super::real2_dynamic(),
         ] {
             let env = ExpEnv::for_workload(&w, 1.0 / 8.0);
-            for router in [Router::MaxOfMins, Router::ShortestQueue, Router::GreedySetCover] {
+            for router in [
+                Router::MaxOfMins,
+                Router::ShortestQueue,
+                Router::GreedySetCover,
+            ] {
                 let m = run_system(&w, System::NashDb { price_mult: 1.0 }, router, &env);
                 out.push(RouterPoint {
                     workload: w.name.clone(),
@@ -86,11 +90,15 @@ pub fn run_span() {
     let w = super::random_dynamic();
     let env = crate::env::ExpEnv::for_workload(&w, 1.0 / 8.0);
     for phi_secs in [0.0f64, 0.35, 3.5, 35.0] {
-        let phi = (phi_secs * env.run.cluster.throughput_tps) as u64;
+        let phi = nashdb_core::num::saturating_u64(phi_secs * env.run.cluster.throughput_tps);
         let router = nashdb_core::routing::MaxOfMins::new(phi);
         let mut dist = nashdb::NashDbDistributor::new(&w.db, env.nash);
         let m = nashdb::run_workload(&w, &mut dist, &router, &env.run);
-        row(&[fmt(phi_secs), fmt(m.mean_span()), fmt(m.mean_latency_secs())]);
+        row(&[
+            fmt(phi_secs),
+            fmt(m.mean_span()),
+            fmt(m.mean_latency_secs()),
+        ]);
     }
     println!("  expectation: span falls monotonically as ϕ grows; latency is flat");
     println!("  until ϕ forces queueing behind busy replicas, then rises.");

@@ -18,8 +18,14 @@ pub fn run() {
         "min read (GB)",
     ]);
     let rows: Vec<(nashdb_workload::WorkloadSummary, &str)> = vec![
-        (super::tpch_static(1.0).summary(), "paper: 1000 GB (scaled to 100)"),
-        (super::bernoulli_static(1.0).summary(), "paper: 1000 GB (scaled to 100)"),
+        (
+            super::tpch_static(1.0).summary(),
+            "paper: 1000 GB (scaled to 100)",
+        ),
+        (
+            super::bernoulli_static(1.0).summary(),
+            "paper: 1000 GB (scaled to 100)",
+        ),
         (
             super::real1_static().summary(),
             "paper: 800 GB, 1000 q, med 600 GB, min 5 GB",

@@ -15,7 +15,12 @@ fn one(w: &Workload, warm: bool) {
     if warm {
         env = env.warmed(w.queries.len() / 2);
     }
-    let m = run_system(w, System::NashDb { price_mult: 1.0 }, Router::MaxOfMins, &env);
+    let m = run_system(
+        w,
+        System::NashDb { price_mult: 1.0 },
+        Router::MaxOfMins,
+        &env,
+    );
 
     // Bucket to ~coarse rows over the active portion of the run.
     let buckets: Vec<(f64, f64)> = m
@@ -51,7 +56,10 @@ fn one(w: &Workload, warm: bool) {
         let min = steady.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = steady.iter().cloned().fold(0.0f64, f64::max);
         if max > 0.0 {
-            println!("  steady-state variation: {:.1}%", 100.0 * (max - min) / max);
+            println!(
+                "  steady-state variation: {:.1}%",
+                100.0 * (max - min) / max
+            );
         }
     }
 }

@@ -25,11 +25,31 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig9c", "fig10", "fig11", "overhead", "market", "merge2", "p2c", "hetero",
 ];
 
+/// An experiment id not listed in [`ALL_EXPERIMENTS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The unrecognized id.
+    pub id: String,
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown experiment id {:?} (known: {})",
+            self.id,
+            ALL_EXPERIMENTS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
 /// Runs one experiment by id, printing its table(s) to stdout.
 ///
-/// # Panics
-/// Panics on an unknown id.
-pub fn run_experiment(id: &str) {
+/// # Errors
+/// Returns [`UnknownExperiment`] for an id not in [`ALL_EXPERIMENTS`].
+pub fn run_experiment(id: &str) -> Result<(), UnknownExperiment> {
     use experiments::*;
     match id {
         "tab1" => tab1::run(),
@@ -50,8 +70,13 @@ pub fn run_experiment(id: &str) {
         "merge2" => ablations::run_merge2(),
         "p2c" => ablations::run_p2c(),
         "hetero" => ablations::run_hetero(),
-        other => panic!("unknown experiment id {other:?} (see ALL_EXPERIMENTS)"),
+        other => {
+            return Err(UnknownExperiment {
+                id: other.to_owned(),
+            })
+        }
     }
+    Ok(())
 }
 
 /// Prints a section header.

@@ -31,4 +31,4 @@ pub mod metrics;
 mod sim;
 
 pub use metrics::{Metrics, QueryRecord};
-pub use sim::{ClusterConfig, ClusterSim, DriverEvent, QueryRequest, ScanRange};
+pub use sim::{ClusterConfig, ClusterSim, DispatchError, DriverEvent, QueryRequest, ScanRange};

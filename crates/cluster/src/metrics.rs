@@ -110,7 +110,7 @@ mod tests {
                 id: QueryId(i as u64),
                 arrival: SimTime::from_secs(0),
                 completion: SimTime::ZERO + SimDuration::from_millis(*lat_ms),
-                span: (i as u32 % 2) + 1,
+                span: (u32::try_from(i).unwrap() % 2) + 1,
             });
         }
         assert!((m.mean_latency_secs() - 0.25).abs() < 1e-9);
@@ -121,10 +121,10 @@ mod tests {
     #[test]
     fn empty_metrics_are_zero() {
         let m = Metrics::new(SimDuration::from_secs(60));
-        assert_eq!(m.mean_latency_secs(), 0.0);
+        assert!(m.mean_latency_secs().abs() < 1e-12);
         assert_eq!(m.latency_percentile_secs(99.0), None);
         assert_eq!(m.total_transfer(), 0);
-        assert_eq!(m.mean_span(), 0.0);
+        assert!(m.mean_span().abs() < 1e-12);
     }
 
     #[test]

@@ -99,6 +99,45 @@ pub enum DriverEvent {
     Finished,
 }
 
+/// Why a [`ClusterSim::dispatch`] call was rejected. The simulator is left
+/// untouched: no read of the rejected query is enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The query already had its reads dispatched.
+    DuplicateQuery {
+        /// The query dispatched twice.
+        id: QueryId,
+    },
+    /// A read targets a node id outside the current scheme.
+    UnknownNode {
+        /// The out-of-range node.
+        node: NodeId,
+    },
+    /// A read targets a node that is draining toward retirement.
+    InactiveNode {
+        /// The retiring node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::DuplicateQuery { id } => {
+                write!(f, "query {id} dispatched twice")
+            }
+            DispatchError::UnknownNode { node } => {
+                write!(f, "dispatch to unknown node {node}")
+            }
+            DispatchError::InactiveNode { node } => {
+                write!(f, "dispatch to retiring node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
 #[derive(Debug)]
 enum Event {
     Arrival(QueryId),
@@ -214,38 +253,46 @@ impl ClusterSim {
     /// request. Must be called exactly once per `QueryArrived` event, before
     /// the next [`next_event`](Self::next_event) call.
     ///
-    /// # Panics
-    /// Panics if the query was not just delivered, a node id is out of
-    /// range, or a target node is inactive.
-    pub fn dispatch(&mut self, id: QueryId, reads: &[(NodeId, u64)]) {
-        assert!(
-            !self.running.contains_key(&id),
-            "query {id} dispatched twice"
-        );
+    /// # Errors
+    /// Rejects the dispatch — leaving the simulator untouched — if the query
+    /// was already dispatched, a node id is out of range, or a target node
+    /// is draining toward retirement.
+    pub fn dispatch(&mut self, id: QueryId, reads: &[(NodeId, u64)]) -> Result<(), DispatchError> {
+        if self.running.contains_key(&id) {
+            return Err(DispatchError::DuplicateQuery { id });
+        }
+        // Validate every read before enqueueing any, so a rejected dispatch
+        // leaves no partial work behind.
+        let mut targets = Vec::with_capacity(reads.len());
+        for &(node, _) in reads {
+            let phys = *self
+                .logical
+                .get(node.index())
+                .ok_or(DispatchError::UnknownNode { node })?;
+            if !self.phys[phys].active {
+                return Err(DispatchError::InactiveNode { node });
+            }
+            targets.push(phys);
+        }
         let now = self.now();
         if reads.is_empty() {
             // Nothing to read: completes instantly.
             self.complete_query(
                 id,
-                QueryState {
+                &QueryState {
                     arrival: now,
                     pending: 0,
                     nodes: HashSet::new(),
                 },
             );
-            return;
+            return Ok(());
         }
         let mut state = QueryState {
             arrival: now,
             pending: reads.len(),
             nodes: HashSet::new(),
         };
-        for &(node, tuples) in reads {
-            let phys = *self
-                .logical
-                .get(node.get() as usize)
-                .unwrap_or_else(|| panic!("dispatch to unknown node {node}"));
-            assert!(self.phys[phys].active, "dispatch to retiring node {node}");
+        for (&(_, tuples), &phys) in reads.iter().zip(&targets) {
             state.nodes.insert(phys);
             self.enqueue_job(
                 phys,
@@ -256,6 +303,7 @@ impl ClusterSim {
             );
         }
         self.running.insert(id, state);
+        Ok(())
     }
 
     /// Applies a transition plan: reused nodes keep their queues (and
@@ -271,7 +319,7 @@ impl ClusterSim {
             .iter()
             .filter_map(|m| match m {
                 NodeMove::Reuse { new, .. } | NodeMove::Provision { new, .. } => {
-                    Some(new.get() as usize + 1)
+                    Some(new.index() + 1)
                 }
                 NodeMove::Decommission { .. } => None,
             })
@@ -285,8 +333,8 @@ impl ClusterSim {
         for m in &plan.moves {
             match *m {
                 NodeMove::Reuse { old, new, transfer } => {
-                    let phys = old_logical[old.get() as usize];
-                    new_logical[new.get() as usize] = phys;
+                    let phys = old_logical[old.index()];
+                    new_logical[new.index()] = phys;
                     if transfer > 0 {
                         self.enqueue_job(
                             phys,
@@ -310,7 +358,7 @@ impl ClusterSim {
                         busy: SimDuration::ZERO,
                         retired: false,
                     });
-                    new_logical[new.get() as usize] = phys;
+                    new_logical[new.index()] = phys;
                     if transfer > 0 {
                         self.enqueue_job(
                             phys,
@@ -323,7 +371,7 @@ impl ClusterSim {
                     }
                 }
                 NodeMove::Decommission { old } => {
-                    let phys = old_logical[old.get() as usize];
+                    let phys = old_logical[old.index()];
                     self.phys[phys].active = false;
                     self.maybe_retire(phys, now);
                 }
@@ -347,10 +395,9 @@ impl ClusterSim {
             };
             match event {
                 Event::Arrival(id) => {
-                    let query = self
-                        .pending
-                        .remove(&id)
-                        .expect("arrival for unscheduled query");
+                    let Some(query) = self.pending.remove(&id) else {
+                        unreachable!("arrival event for unscheduled query {id}")
+                    };
                     return DriverEvent::QueryArrived { id, query };
                 }
                 Event::Wakeup(tag) => return DriverEvent::Wakeup { tag },
@@ -393,7 +440,9 @@ impl ClusterSim {
 
     fn job_done(&mut self, phys: usize, now: SimTime) -> Option<DriverEvent> {
         let node = &mut self.phys[phys];
-        let job = node.in_service.take().expect("JobDone without a job");
+        let Some(job) = node.in_service.take() else {
+            unreachable!("JobDone fired for an idle disk")
+        };
         node.backlog -= job.tuples;
         node.busy += SimDuration::from_secs_f64(job.tuples as f64 / self.cfg.throughput_tps);
         // Start the next job, if any.
@@ -409,11 +458,15 @@ impl ClusterSim {
             None => None, // transfer write finished; nothing to report
             Some(id) => {
                 self.metrics.read_throughput.add(now, job.tuples as f64);
-                let state = self.running.get_mut(&id).expect("job for unknown query");
+                let Some(state) = self.running.get_mut(&id) else {
+                    unreachable!("fragment read finished for unknown query {id}")
+                };
                 state.pending -= 1;
                 if state.pending == 0 {
-                    let state = self.running.remove(&id).expect("present");
-                    Some(self.complete_query(id, state))
+                    let Some(state) = self.running.remove(&id) else {
+                        unreachable!("query {id} vanished between pending checks")
+                    };
+                    Some(self.complete_query(id, &state))
                 } else {
                     None
                 }
@@ -421,13 +474,13 @@ impl ClusterSim {
         }
     }
 
-    fn complete_query(&mut self, id: QueryId, state: QueryState) -> DriverEvent {
+    fn complete_query(&mut self, id: QueryId, state: &QueryState) -> DriverEvent {
         let now = self.now();
         let record = QueryRecord {
             id,
             arrival: state.arrival,
             completion: now,
-            span: state.nodes.len() as u32,
+            span: u32::try_from(state.nodes.len()).unwrap_or(u32::MAX),
         };
         self.metrics.queries.push(record);
         DriverEvent::QueryCompleted {
@@ -450,9 +503,10 @@ impl ClusterSim {
         self.metrics.total_cost += hours * self.cfg.node_cost_per_hour;
         node.retired_at = Some(until);
         node.retired = true;
-        self.metrics
-            .node_utilization
-            .push((node.busy.as_secs_f64() / until.since(node.provisioned_at).as_secs_f64().max(1e-12)).min(1.0));
+        self.metrics.node_utilization.push(
+            (node.busy.as_secs_f64() / until.since(node.provisioned_at).as_secs_f64().max(1e-12))
+                .min(1.0),
+        );
     }
 }
 
@@ -463,7 +517,7 @@ mod tests {
 
     fn cfg() -> ClusterConfig {
         ClusterConfig {
-            throughput_tps: 1_000.0, // 1k tuples/sec: easy arithmetic
+            throughput_tps: 1_000.0,    // 1k tuples/sec: easy arithmetic
             node_cost_per_hour: 3600.0, // 1 unit per second
             metrics_bucket: SimDuration::from_secs(10),
         }
@@ -494,7 +548,7 @@ mod tests {
             match sim.next_event() {
                 DriverEvent::QueryArrived { id, query } => {
                     let reads = route(sim, &query);
-                    sim.dispatch(id, &reads);
+                    sim.dispatch(id, &reads).unwrap();
                 }
                 DriverEvent::Finished => break,
                 _ => {}
@@ -523,7 +577,11 @@ mod tests {
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         drive(&mut sim, |_, _| vec![(NodeId(0), 1000)]);
         let m = sim.finish();
-        let mut lats: Vec<f64> = m.queries.iter().map(|q| q.latency().as_secs_f64()).collect();
+        let mut lats: Vec<f64> = m
+            .queries
+            .iter()
+            .map(|q| q.latency().as_secs_f64())
+            .collect();
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((lats[0] - 1.0).abs() < 1e-9);
         assert!((lats[1] - 2.0).abs() < 1e-9);
@@ -534,9 +592,7 @@ mod tests {
         let mut sim = ClusterSim::new(cfg());
         sim.reconfigure(&provision(2));
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 500), (500, 1000)]));
-        drive(&mut sim, |_, _| {
-            vec![(NodeId(0), 500), (NodeId(1), 500)]
-        });
+        drive(&mut sim, |_, _| vec![(NodeId(0), 500), (NodeId(1), 500)]);
         let m = sim.finish();
         assert!((m.queries[0].latency().as_secs_f64() - 0.5).abs() < 1e-9);
         assert_eq!(m.queries[0].span, 2);
@@ -550,7 +606,7 @@ mod tests {
         // Dispatch on arrival, then inspect waits immediately.
         match sim.next_event() {
             DriverEvent::QueryArrived { id, .. } => {
-                sim.dispatch(id, &[(NodeId(1), 700)]);
+                sim.dispatch(id, &[(NodeId(1), 700)]).unwrap();
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -576,7 +632,7 @@ mod tests {
         sim.reconfigure(&provision(2));
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         match sim.next_event() {
-            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(1), 1000)]),
+            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(1), 1000)]).unwrap(),
             other => panic!("unexpected {other:?}"),
         }
         // Scale down to one node: keep node 0, decommission busy node 1.
@@ -616,7 +672,10 @@ mod tests {
         ];
         sim.reconfigure(&plan_transition(&old, &new));
         // A query dispatched to the new node waits behind the transfer.
-        sim.schedule_query(SimTime::ZERO + SimDuration::from_millis(1), query(&[(0, 100)]));
+        sim.schedule_query(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            query(&[(0, 100)]),
+        );
         drive(&mut sim, |_, _| vec![(NodeId(1), 100)]);
         let m = sim.finish();
         assert_eq!(m.total_transfer(), 2000);
@@ -632,7 +691,7 @@ mod tests {
         sim.reconfigure(&provision(2));
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         match sim.next_event() {
-            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(0), 1000)]),
+            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(0), 1000)]).unwrap(),
             other => panic!("unexpected {other:?}"),
         }
         // Identity-ish reconfigure: same two nodes.
@@ -651,7 +710,7 @@ mod tests {
         sim.reconfigure(&provision(1));
         sim.schedule_query(SimTime::from_secs(5), query(&[(0, 10)]));
         match sim.next_event() {
-            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[]),
+            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[]).unwrap(),
             other => panic!("unexpected {other:?}"),
         }
         let m = sim.finish();
@@ -660,15 +719,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dispatched twice")]
-    fn double_dispatch_panics() {
+    fn double_dispatch_is_rejected() {
         let mut sim = ClusterSim::new(cfg());
         sim.reconfigure(&provision(1));
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 10)]));
         match sim.next_event() {
             DriverEvent::QueryArrived { id, .. } => {
-                sim.dispatch(id, &[(NodeId(0), 10)]);
-                sim.dispatch(id, &[(NodeId(0), 10)]);
+                sim.dispatch(id, &[(NodeId(0), 10)]).unwrap();
+                assert_eq!(
+                    sim.dispatch(id, &[(NodeId(0), 10)]),
+                    Err(DispatchError::DuplicateQuery { id })
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -681,7 +742,7 @@ mod tests {
         // Node 0 works 1 s of a 2 s run; node 1 stays idle.
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         match sim.next_event() {
-            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(0), 1000)]),
+            DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(0), 1000)]).unwrap(),
             other => panic!("unexpected {other:?}"),
         }
         sim.schedule_wakeup(SimTime::from_secs(2), 0);

@@ -147,6 +147,47 @@ pub enum EquilibriumViolation {
     ),
 }
 
+impl std::fmt::Display for EquilibriumViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquilibriumViolation::DropProfitable {
+                node,
+                fragment,
+                loss,
+            } => write!(
+                f,
+                "node {node} profits by dropping fragment {fragment} (replica loses {loss})"
+            ),
+            EquilibriumViolation::AddProfitable {
+                node,
+                fragment,
+                gain,
+            } => write!(
+                f,
+                "node {node} profits by adding fragment {fragment} (gain {gain})"
+            ),
+            EquilibriumViolation::SwapProfitable {
+                node,
+                drop,
+                add,
+                gain,
+            } => write!(
+                f,
+                "node {node} profits by swapping fragment {drop} for {add} (gain {gain})"
+            ),
+            EquilibriumViolation::EntryProfitable { fragments, gain } => write!(
+                f,
+                "a new node could enter hosting {fragments:?} and earn {gain}"
+            ),
+            EquilibriumViolation::Malformed(detail) => {
+                write!(f, "malformed configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquilibriumViolation {}
+
 /// Checks all four conditions of Definition 6.1 against a configuration.
 ///
 /// Returns `Ok(())` when the configuration is a Nash equilibrium, or the
@@ -193,7 +234,13 @@ pub fn check_equilibrium(config: &EconomicConfig) -> Result<(), EquilibriumViola
         // Condition 1: dropping any held replica must not increase profit,
         // i.e. every held replica's profit must be >= 0.
         for &fid in frags {
-            let f = econ_of(fid).expect("validated above");
+            let Some(f) = econ_of(fid) else {
+                // Unreachable after structural validation, but surfacing it
+                // as Malformed keeps this function panic-free.
+                return Err(EquilibriumViolation::Malformed(format!(
+                    "node {node} hosts unknown fragment {fid}"
+                )));
+            };
             let profit = replica_profit(config.window, f.value, f.replicas, f.size, &config.spec);
             if profit < -PROFIT_EPSILON {
                 return Err(EquilibriumViolation::DropProfitable {
@@ -210,8 +257,7 @@ pub fn check_equilibrium(config: &EconomicConfig) -> Result<(), EquilibriumViola
             if held.contains(&f.id) {
                 continue;
             }
-            let gain =
-                replica_profit(config.window, f.value, f.replicas + 1, f.size, &config.spec);
+            let gain = replica_profit(config.window, f.value, f.replicas + 1, f.size, &config.spec);
             if gain > PROFIT_EPSILON {
                 return Err(EquilibriumViolation::AddProfitable {
                     node: *node,
@@ -225,7 +271,11 @@ pub fn check_equilibrium(config: &EconomicConfig) -> Result<(), EquilibriumViola
         // be profitable: new replica's (diluted) profit must not exceed the
         // dropped replica's current profit.
         for &drop_id in frags {
-            let d = econ_of(drop_id).expect("validated above");
+            let Some(d) = econ_of(drop_id) else {
+                return Err(EquilibriumViolation::Malformed(format!(
+                    "node {node} hosts unknown fragment {drop_id}"
+                )));
+            };
             let drop_profit =
                 replica_profit(config.window, d.value, d.replicas, d.size, &config.spec);
             for a in &config.fragments {

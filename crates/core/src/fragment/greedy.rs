@@ -93,7 +93,7 @@ impl GreedyFragmenter {
     pub fn from_fragmentation(frag: Fragmentation, max_frags: usize) -> Self {
         assert!(max_frags > 0, "need at least one fragment");
         GreedyFragmenter {
-            boundaries: frag.boundaries().to_vec(),
+            boundaries: frag.boundaries,
             max_frags,
             min_split_gain: DEFAULT_MIN_SPLIT_GAIN,
             min_relative_gain: 0.0,
@@ -158,9 +158,12 @@ impl GreedyFragmenter {
     /// Panics if the chunks do not cover this fragmenter's table.
     pub fn step(&mut self, chunks: &[Chunk]) -> StepOutcome {
         let prefix = ChunkPrefix::new(chunks);
+        let Some(&table_len) = self.boundaries.last() else {
+            unreachable!("a fragmenter always keeps at least two boundaries");
+        };
         assert_eq!(
             prefix.table_len(),
-            *self.boundaries.last().expect("nonempty"),
+            table_len,
             "value function covers a different table"
         );
 
@@ -259,14 +262,17 @@ impl GreedyFragmenter {
             // The optimal two-way cut of [a, d): chunk boundaries plus the
             // existing cuts b and c (which are always legal and guarantee a
             // candidate even when no value change falls strictly inside).
-            let (point, new) =
-                best_cut(prefix, a, d, &[b, c]).expect("b is always a valid candidate");
+            let Some((point, new)) = best_cut(prefix, a, d, &[b, c]) else {
+                unreachable!("cut b is always a valid candidate");
+            };
             let delta = new - old;
             if best.is_none_or(|(_, _, d0)| delta < d0) {
                 best = Some((i, point, delta));
             }
         }
-        let (i, point, _) = best.expect("len >= 3 yields at least one triple");
+        let Some((i, point, _)) = best else {
+            unreachable!("len >= 3 yields at least one triple");
+        };
         // Replace boundaries b, c with the single cut `point`.
         self.boundaries.splice(i + 1..i + 3, [point]);
         debug_assert!(self.boundaries.windows(2).all(|w| w[0] < w[1]));
@@ -286,7 +292,9 @@ impl GreedyFragmenter {
                 best = Some((i, delta));
             }
         }
-        let (i, _) = best.expect("len >= 2 yields an interior boundary");
+        let Some((i, _)) = best else {
+            unreachable!("len >= 2 yields an interior boundary");
+        };
         self.boundaries.remove(i);
     }
 }
@@ -371,10 +379,7 @@ mod tests {
         let mut prev = g.fragmentation().total_error(&prefix);
         while g.step(&chunks) == StepOutcome::Changed {
             let cur = g.fragmentation().total_error(&prefix);
-            assert!(
-                cur < prev + 1e-9,
-                "split increased error: {prev} -> {cur}"
-            );
+            assert!(cur < prev + 1e-9, "split increased error: {prev} -> {cur}");
             prev = cur;
         }
     }
@@ -392,11 +397,7 @@ mod tests {
         // Shifted workload: hot region 30..80. Reaching the zero-error
         // boundaries {0,30,80,100} with a cap of 3 requires merging a triple
         // back into two so the freed split can land at the new edge.
-        let new = vec![
-            chunk(0, 30, 0.0),
-            chunk(30, 80, 5.0),
-            chunk(80, 100, 0.0),
-        ];
+        let new = vec![chunk(0, 30, 0.0), chunk(30, 80, 5.0), chunk(80, 100, 0.0)];
         let prefix = ChunkPrefix::new(&new);
         let before = g.fragmentation().total_error(&prefix);
         g.run(&new, 16);
@@ -462,11 +463,7 @@ mod tests {
     #[test]
     fn pairwise_merge_adapts_worse_than_triple() {
         let old = vec![chunk(0, 50, 5.0), chunk(50, 100, 0.0)];
-        let new = vec![
-            chunk(0, 30, 0.0),
-            chunk(30, 80, 5.0),
-            chunk(80, 100, 0.0),
-        ];
+        let new = vec![chunk(0, 30, 0.0), chunk(30, 80, 5.0), chunk(80, 100, 0.0)];
         let prefix = ChunkPrefix::new(&new);
         let run_with = |policy: MergePolicy| {
             let mut g = GreedyFragmenter::new(100, 3).with_merge_policy(policy);

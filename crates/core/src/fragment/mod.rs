@@ -140,7 +140,10 @@ impl Fragmentation {
 
     /// Total tuples covered.
     pub fn table_len(&self) -> u64 {
-        *self.boundaries.last().expect("at least two boundaries")
+        let Some(&last) = self.boundaries.last() else {
+            unreachable!("every constructor validates at least two boundaries");
+        };
+        last
     }
 
     /// The cut points, including 0 and `table_len`.
@@ -293,9 +296,15 @@ mod tests {
     #[test]
     fn fragments_for_scan_covers_overlaps_only() {
         let f = Fragmentation::from_boundaries(vec![0, 10, 25, 40]);
-        let ids: Vec<u64> = f.fragments_for_scan(5, 26).map(|(id, _)| id.get()).collect();
+        let ids: Vec<u64> = f
+            .fragments_for_scan(5, 26)
+            .map(|(id, _)| id.get())
+            .collect();
         assert_eq!(ids, vec![0, 1, 2]);
-        let ids: Vec<u64> = f.fragments_for_scan(10, 25).map(|(id, _)| id.get()).collect();
+        let ids: Vec<u64> = f
+            .fragments_for_scan(10, 25)
+            .map(|(id, _)| id.get())
+            .collect();
         assert_eq!(ids, vec![1]);
         let ids: Vec<u64> = f
             .fragments_for_scan(30, 100)

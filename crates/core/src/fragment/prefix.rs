@@ -63,7 +63,10 @@ impl ChunkPrefix {
 
     /// Total number of tuples covered.
     pub fn table_len(&self) -> u64 {
-        *self.bounds.last().expect("nonempty by construction")
+        let Some(&last) = self.bounds.last() else {
+            unreachable!("the constructor always pushes boundary 0");
+        };
+        last
     }
 
     /// Number of chunks.
@@ -119,7 +122,10 @@ impl ChunkPrefix {
             return 0.0;
         }
         if x >= self.table_len() {
-            return *prefix.last().expect("nonempty");
+            let Some(&total) = prefix.last() else {
+                unreachable!("prefix arrays always hold the leading 0.0");
+            };
+            return total;
         }
         let idx = self.chunk_of(x);
         let v = self.values[idx];

@@ -17,6 +17,14 @@ macro_rules! id_newtype {
             pub const fn get(self) -> u64 {
                 self.0
             }
+
+            /// The id as a container index. Ids are minted from in-memory
+            /// container positions, so they always fit `usize`; the cast is
+            /// lossless on every supported (>= 32-bit) target.
+            #[allow(clippy::cast_possible_truncation)]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
         }
 
         impl From<u64> for $name {

@@ -1,0 +1,67 @@
+//! Checked numeric conversions.
+//!
+//! The economics of the paper mix `u64` tuple counts with `f64` prices and
+//! replica math everywhere, and the workspace lint gate flags every lossy
+//! `as` cast. This module centralizes the handful of conversions that are
+//! genuinely needed, names their semantics (saturating), and carries the
+//! per-site justification once instead of scattering `#[allow]`s.
+
+/// Converts an `f64` to `u64` with saturating semantics: NaN maps to 0,
+/// negative values clamp to 0, values beyond `u64::MAX` clamp to the max.
+///
+/// These are exactly the semantics of an `as` cast since Rust 1.45; the
+/// wrapper exists to name the intent at call sites computing tuple counts,
+/// replica counts, or simulated durations from float expressions.
+#[must_use]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub fn saturating_u64(x: f64) -> u64 {
+    x as u64
+}
+
+/// Converts an `f64` to `usize` with saturating semantics (NaN → 0,
+/// negatives → 0, overflow → `usize::MAX`). See [`saturating_u64`].
+#[must_use]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub fn saturating_usize(x: f64) -> usize {
+    x as usize
+}
+
+/// Converts a `u64` count to a container index.
+///
+/// Tuple, fragment, and node counts in this workspace are bounded by
+/// in-memory container sizes, so they always fit `usize` on the supported
+/// (64-bit) targets; a count that genuinely exceeded `usize::MAX` would have
+/// failed allocation long before reaching a cast. Saturates rather than
+/// wraps on a hypothetical 32-bit target, so an out-of-range value indexes
+/// past the container and panics with a bounds error instead of silently
+/// aliasing a wrong element.
+#[must_use]
+pub fn usize_from(x: u64) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_u64_clamps() {
+        assert_eq!(saturating_u64(-3.5), 0);
+        assert_eq!(saturating_u64(f64::NAN), 0);
+        assert_eq!(saturating_u64(3.9), 3);
+        assert_eq!(saturating_u64(1e300), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_usize_clamps() {
+        assert_eq!(saturating_usize(-1.0), 0);
+        assert_eq!(saturating_usize(41.7), 41);
+        assert_eq!(saturating_usize(1e300), usize::MAX);
+    }
+
+    #[test]
+    fn usize_from_is_lossless_in_range() {
+        assert_eq!(usize_from(0), 0);
+        assert_eq!(usize_from(123_456), 123_456);
+    }
+}

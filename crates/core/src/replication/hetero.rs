@@ -97,8 +97,7 @@ pub fn ideal_replicas_hetero(
     order.sort_by(|&a, &b| {
         classes[a]
             .density()
-            .partial_cmp(&classes[b].density())
-            .expect("finite densities")
+            .total_cmp(&classes[b].density())
             .then(a.cmp(&b))
     });
 
@@ -158,6 +157,11 @@ pub enum HeteroPackError {
         /// The exhausted class.
         class: usize,
     },
+    /// A decision references a fragment absent from the stats.
+    UnknownFragment {
+        /// The unknown fragment.
+        fragment: FragmentId,
+    },
 }
 
 impl std::fmt::Display for HeteroPackError {
@@ -165,6 +169,9 @@ impl std::fmt::Display for HeteroPackError {
         match self {
             HeteroPackError::ClassExhausted { class } => {
                 write!(f, "node class {class} has no capacity left")
+            }
+            HeteroPackError::UnknownFragment { fragment } => {
+                write!(f, "replica decision for unknown fragment {fragment}")
             }
         }
     }
@@ -186,7 +193,7 @@ pub fn pack_bffd_hetero(
             .iter()
             .find(|s| s.id == id)
             .map(|s| s.range.size())
-            .expect("decision for unknown fragment")
+            .ok_or(HeteroPackError::UnknownFragment { fragment: id })
     };
     let scatter = |id: FragmentId| id.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
 
@@ -201,11 +208,11 @@ pub fn pack_bffd_hetero(
 
         let mut class_nodes: Vec<(usize, u64)> = Vec::new(); // (index into nodes, free)
         for (d, count) in order {
-            let size = size_of(d.id);
+            let size = size_of(d.id)?;
             for _ in 0..count {
-                let slot = class_nodes.iter().position(|&(n, free)| {
-                    free >= size && !nodes[n].fragments.contains(&d.id)
-                });
+                let slot = class_nodes
+                    .iter()
+                    .position(|&(n, free)| free >= size && !nodes[n].fragments.contains(&d.id));
                 match slot {
                     Some(i) => {
                         let (n, free) = class_nodes[i];
@@ -214,7 +221,7 @@ pub fn pack_bffd_hetero(
                     }
                     None => {
                         if let Some(cap) = class.available {
-                            let used = class_nodes.len() as u32;
+                            let used = u32::try_from(class_nodes.len()).unwrap_or(u32::MAX);
                             if used >= cap {
                                 return Err(HeteroPackError::ClassExhausted { class: c });
                             }
@@ -346,10 +353,7 @@ mod tests {
         }
         // Every decided replica is placed.
         for d in &decisions {
-            let placed = nodes
-                .iter()
-                .filter(|n| n.fragments.contains(&d.id))
-                .count() as u64;
+            let placed = nodes.iter().filter(|n| n.fragments.contains(&d.id)).count() as u64;
             assert_eq!(placed, d.total(), "fragment {}", d.id);
         }
     }

@@ -80,8 +80,7 @@ pub fn simulate_market(
                 let r = replicas[i];
                 // Drop: the marginal replica loses money.
                 if r > 0
-                    && replica_profit(policy.window, s.value, r, s.range.size(), &policy.spec)
-                        < 0.0
+                    && replica_profit(policy.window, s.value, r, s.range.size(), &policy.spec) < 0.0
                 {
                     replicas[i] = r - 1;
                     actions += 1;
@@ -90,13 +89,8 @@ pub fn simulate_market(
                 }
                 // Add/entry: one more replica would still profit.
                 if r < policy.max_replicas_per_fragment
-                    && replica_profit(
-                        policy.window,
-                        s.value,
-                        r + 1,
-                        s.range.size(),
-                        &policy.spec,
-                    ) >= 0.0
+                    && replica_profit(policy.window, s.value, r + 1, s.range.size(), &policy.spec)
+                        >= 0.0
                 {
                     replicas[i] = r + 1;
                     actions += 1;
@@ -164,7 +158,11 @@ mod tests {
         assert!(out.converged);
         for (s, &r) in st.iter().zip(&out.replicas) {
             let ideal = ideal_replicas(p.window, s.value, s.range.size(), &p.spec);
-            assert_eq!(r, ideal, "fragment {} market {} vs ideal {}", s.id, r, ideal);
+            assert_eq!(
+                r, ideal,
+                "fragment {} market {} vs ideal {}",
+                s.id, r, ideal
+            );
         }
     }
 

@@ -35,7 +35,7 @@ pub fn ideal_replicas(window: usize, value: f64, size: u64, spec: &NodeSpec) -> 
     if !ideal.is_finite() || ideal <= 0.0 {
         0
     } else {
-        ideal.floor() as u64
+        crate::num::saturating_u64(ideal.floor())
     }
 }
 
@@ -195,7 +195,7 @@ impl ClusterScheme {
 
     /// Tuples stored on node `n`.
     pub fn node_used(&self, n: NodeId) -> u64 {
-        self.nodes[n.get() as usize]
+        self.nodes[n.index()]
             .iter()
             .map(|f| self.range_of(*f).map_or(0, |r| r.size()))
             .sum()
@@ -353,10 +353,7 @@ mod tests {
     #[test]
     fn decisions_floor_at_one_and_mark_forced() {
         let policy = ReplicationPolicy::new(50, spec());
-        let d = decide_replicas(
-            &[stats(0, 0, 250, 1.0), stats(1, 250, 500, 0.0)],
-            &policy,
-        );
+        let d = decide_replicas(&[stats(0, 0, 250, 1.0), stats(1, 250, 500, 0.0)], &policy);
         assert_eq!(d[0].replicas, 2);
         assert!(!d[0].forced);
         assert_eq!(d[1].replicas, 1);
@@ -432,8 +429,8 @@ mod tests {
         let policy = ReplicationPolicy::new(50, spec());
         let scheme = ClusterScheme::build(
             &[
-                stats(0, 0, 250, 1.0),   // ideal 2
-                stats(1, 250, 500, 2.5), // ideal 5
+                stats(0, 0, 250, 1.0),    // ideal 2
+                stats(1, 250, 500, 2.5),  // ideal 5
                 stats(2, 500, 1000, 0.2), // ideal 0 -> forced
             ],
             policy,
@@ -455,9 +452,7 @@ mod tests {
             Some(FragmentRange::new(0, 250))
         );
         assert_eq!(scheme.range_of(FragmentId(9)), None);
-        let total_hosted: usize = (0..scheme.num_nodes())
-            .map(|n| scheme.nodes[n].len())
-            .sum();
+        let total_hosted: usize = (0..scheme.num_nodes()).map(|n| scheme.nodes[n].len()).sum();
         let from_hosts: usize = scheme
             .decisions
             .iter()

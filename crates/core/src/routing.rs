@@ -72,12 +72,12 @@ impl QueueView {
 
     /// Queued tuples on `node`.
     pub fn wait(&self, node: NodeId) -> u64 {
-        self.waits[node.get() as usize]
+        self.waits[node.index()]
     }
 
     /// Adds `size` tuples of work to `node`'s queue.
     pub fn enqueue(&mut self, node: NodeId, size: u64) {
-        self.waits[node.get() as usize] += size;
+        self.waits[node.index()] += size;
     }
 }
 
@@ -132,7 +132,7 @@ impl ScanRouter for MaxOfMins {
                     "fragment {} has no replicas to read",
                     req.fragment
                 );
-                let (node, eff) = req
+                let Some((node, eff)) = req
                     .candidates
                     .iter()
                     .map(|&n| {
@@ -140,7 +140,9 @@ impl ScanRouter for MaxOfMins {
                         (n, queues.wait(n).saturating_add(penalty))
                     })
                     .min_by_key(|&(n, eff)| (eff, n))
-                    .expect("nonempty candidates");
+                else {
+                    unreachable!("candidates asserted nonempty above")
+                };
                 let better = match pick {
                     None => true,
                     // Strict max; ties broken toward larger reads first,
@@ -155,7 +157,9 @@ impl ScanRouter for MaxOfMins {
                     pick = Some((idx, node, eff));
                 }
             }
-            let (idx, node, _) = pick.expect("remaining nonempty");
+            let Some((idx, node, _)) = pick else {
+                unreachable!("the loop guard keeps `remaining` nonempty")
+            };
             let req = remaining.swap_remove(idx);
             queues.enqueue(node, req.size);
             chosen.insert(node);
@@ -197,7 +201,10 @@ impl PowerOfTwoChoices {
     }
 
     fn next(&self) -> u64 {
-        let mut s = self.state.lock().expect("router RNG poisoned");
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *s;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -218,25 +225,21 @@ impl ScanRouter for PowerOfTwoChoices {
                     req.fragment
                 );
                 let pair: [NodeId; 2] = if req.candidates.len() <= 2 {
-                    [
-                        req.candidates[0],
-                        *req.candidates.last().expect("nonempty"),
-                    ]
+                    [req.candidates[0], req.candidates[req.candidates.len() - 1]]
                 } else {
-                    let a = (self.next() % req.candidates.len() as u64) as usize;
-                    let mut b = (self.next() % (req.candidates.len() - 1) as u64) as usize;
+                    let a = crate::num::usize_from(self.next()) % req.candidates.len();
+                    let mut b = crate::num::usize_from(self.next()) % (req.candidates.len() - 1);
                     if b >= a {
                         b += 1;
                     }
                     [req.candidates[a], req.candidates[b]]
                 };
-                let node = pair
-                    .into_iter()
-                    .min_by_key(|&n| {
-                        let penalty = if chosen.contains(&n) { 0 } else { self.phi };
-                        (queues.wait(n).saturating_add(penalty), n)
-                    })
-                    .expect("two candidates");
+                let Some(node) = pair.into_iter().min_by_key(|&n| {
+                    let penalty = if chosen.contains(&n) { 0 } else { self.phi };
+                    (queues.wait(n).saturating_add(penalty), n)
+                }) else {
+                    unreachable!("a two-element pair always has a minimum")
+                };
                 queues.enqueue(node, req.size);
                 chosen.insert(node);
                 Assignment {
@@ -277,10 +280,13 @@ mod tests {
         let router = MaxOfMins::new(100);
         let mut q = QueueView::new(2);
         let out = router.route(&[req(0, 50, &[1])], &mut q);
-        assert_eq!(out, vec![Assignment {
-            fragment: FragmentId(0),
-            node: NodeId(1)
-        }]);
+        assert_eq!(
+            out,
+            vec![Assignment {
+                fragment: FragmentId(0),
+                node: NodeId(1)
+            }]
+        );
         assert_eq!(q.wait(NodeId(1)), 50);
         assert_eq!(q.wait(NodeId(0)), 0);
     }
@@ -310,10 +316,7 @@ mod tests {
         // go to node 1 rather than queue behind it.
         let router = MaxOfMins::new(50);
         let mut q = QueueView::new(2);
-        let out = router.route(
-            &[req(0, 1_000, &[0, 1]), req(1, 1_000, &[0, 1])],
-            &mut q,
-        );
+        let out = router.route(&[req(0, 1_000, &[0, 1]), req(1, 1_000, &[0, 1])], &mut q);
         assert_eq!(span(&out), 2);
         assert_ne!(node_of(&out, 0), node_of(&out, 1));
     }
@@ -339,7 +342,11 @@ mod tests {
         let router = MaxOfMins::new(0);
         let mut q = QueueView::new(2);
         let out = router.route(
-            &[req(0, 100, &[0, 1]), req(1, 100, &[0, 1]), req(2, 100, &[0, 1])],
+            &[
+                req(0, 100, &[0, 1]),
+                req(1, 100, &[0, 1]),
+                req(2, 100, &[0, 1]),
+            ],
             &mut q,
         );
         let w0 = q.wait(NodeId(0));
@@ -398,8 +405,7 @@ mod tests {
 
     #[test]
     fn power_of_two_is_deterministic_per_seed() {
-        let reqs: Vec<FragmentRequest> =
-            (0..16).map(|i| req(i, 10, &[0, 1, 2, 3, 4])).collect();
+        let reqs: Vec<FragmentRequest> = (0..16).map(|i| req(i, 10, &[0, 1, 2, 3, 4])).collect();
         let route_with = |seed: u64| {
             let router = PowerOfTwoChoices::new(0, seed);
             let mut q = QueueView::new(5);

@@ -132,11 +132,7 @@ mod tests {
 
     #[test]
     fn classic_three_by_three() {
-        let cost = vec![
-            vec![4, 1, 3],
-            vec![2, 0, 5],
-            vec![3, 2, 2],
-        ];
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
         let (a, t) = hungarian(&cost);
         assert_valid_assignment(&cost, &a, t);
         assert_eq!(t, 5); // 1 + 2 + 2
@@ -144,11 +140,7 @@ mod tests {
 
     #[test]
     fn identity_preferred_on_diagonal_zeros() {
-        let cost = vec![
-            vec![0, 9, 9],
-            vec![9, 0, 9],
-            vec![9, 9, 0],
-        ];
+        let cost = vec![vec![0, 9, 9], vec![9, 0, 9], vec![9, 9, 0]];
         let (a, t) = hungarian(&cost);
         assert_eq!(t, 0);
         assert_eq!(a, vec![0, 1, 2]);
@@ -174,10 +166,7 @@ mod tests {
     fn handles_large_costs_without_overflow() {
         // Tuple counts can reach billions; make sure potentials don't wrap.
         let big = 3_000_000_000u64;
-        let cost = vec![
-            vec![big, big / 2],
-            vec![big / 3, big],
-        ];
+        let cost = vec![vec![big, big / 2], vec![big / 3, big]];
         let (a, t) = hungarian(&cost);
         assert_valid_assignment(&cost, &a, t);
         assert_eq!(t, big / 2 + big / 3);
@@ -187,6 +176,37 @@ mod tests {
     #[should_panic(expected = "square")]
     fn rejects_ragged_matrix() {
         let _ = hungarian(&[vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn all_dummy_columns_cost_nothing() {
+        // A scale-to-zero transition pads every column with decommission
+        // dummies: whole columns of zeros. The matching must still be a
+        // valid permutation with total zero.
+        let cost = vec![vec![0, 0, 0], vec![0, 0, 0], vec![0, 0, 0]];
+        let (a, t) = hungarian(&cost);
+        assert_valid_assignment(&cost, &a, t);
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn mixed_real_and_dummy_columns() {
+        // Two real new nodes (columns 0-1) and one dummy (column 2, all
+        // zeros): the dummy must absorb the row whose real options are
+        // worst.
+        let cost = vec![vec![10, 20, 0], vec![30, 10, 0], vec![90, 90, 0]];
+        let (a, t) = hungarian(&cost);
+        assert_valid_assignment(&cost, &a, t);
+        assert_eq!(t, 20); // rows 0->0, 1->1, 2->dummy
+        assert_eq!(a[2], 2);
+    }
+
+    #[test]
+    fn single_node_dominant_column() {
+        // 1×1 with a huge cost: trivially matched, no overflow.
+        let (a, t) = hungarian(&[vec![u64::MAX / 8]]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(t, u64::MAX / 8);
     }
 
     #[test]

@@ -96,9 +96,7 @@ impl IntervalSet {
 
     /// The union of two sets.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        IntervalSet::from_intervals(
-            self.runs.iter().chain(other.runs.iter()).copied(),
-        )
+        IntervalSet::from_intervals(self.runs.iter().chain(other.runs.iter()).copied())
     }
 }
 
@@ -176,5 +174,45 @@ mod tests {
     fn from_iterator_collects() {
         let s: IntervalSet = [(0u64, 5u64), (10, 12)].into_iter().collect();
         assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn empty_against_empty() {
+        let e = IntervalSet::new();
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.intersection_len(&e), 0);
+        assert_eq!(e.difference_len(&e), 0);
+        assert!(e.union(&e).is_empty());
+        assert!(!e.contains(0));
+    }
+
+    #[test]
+    fn single_tuple_runs() {
+        let s = IntervalSet::from_intervals([(5, 6), (7, 8)]);
+        assert_eq!(s.runs(), &[(5, 6), (7, 8)]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5) && s.contains(7));
+        assert!(!s.contains(6));
+        // Touching single tuples merge into one run.
+        let t = IntervalSet::from_intervals([(5, 6), (6, 7)]);
+        assert_eq!(t.runs(), &[(5, 7)]);
+    }
+
+    #[test]
+    fn many_runs_against_one_spanning_run() {
+        let many = IntervalSet::from_intervals((0..50u64).map(|i| (i * 10, i * 10 + 5)));
+        let span = IntervalSet::from_intervals([(0, 500)]);
+        assert_eq!(many.len(), 250);
+        assert_eq!(many.intersection_len(&span), 250);
+        assert_eq!(span.difference_len(&many), 250);
+        assert_eq!(many.difference_len(&span), 0);
+    }
+
+    #[test]
+    fn difference_is_asymmetric_on_nested_sets() {
+        let outer = IntervalSet::from_intervals([(0, 100)]);
+        let inner = IntervalSet::from_intervals([(40, 60)]);
+        assert_eq!(outer.difference_len(&inner), 80);
+        assert_eq!(inner.difference_len(&outer), 0);
     }
 }

@@ -182,7 +182,7 @@ mod tests {
         // Each node maps to its identical twin.
         for (old, new, t) in plan.reused() {
             assert_eq!(t, 0);
-            assert_eq!(nodes[old.get() as usize], nodes[new.get() as usize]);
+            assert_eq!(nodes[old.index()], nodes[new.index()]);
         }
     }
 
@@ -230,10 +230,7 @@ mod tests {
             set(&[(20, 30), (30, 50)]),
             set(&[(0, 20), (50, 75)]),
         ];
-        let new = vec![
-            set(&[(0, 20), (20, 35)]),
-            set(&[(35, 55), (55, 75)]),
-        ];
+        let new = vec![set(&[(0, 20), (20, 35)]), set(&[(35, 55), (55, 75)])];
         let plan = plan_transition(&old, &new);
         // One old node is destroyed (dummy column), two are reused.
         assert_eq!(plan.decommissioned(), 1);
@@ -254,6 +251,78 @@ mod tests {
         let plan = plan_transition(&[], &[]);
         assert!(plan.moves.is_empty());
         assert_eq!(plan.total_transfer, 0);
+    }
+
+    #[test]
+    fn scale_to_zero_decommissions_everything() {
+        // New side empty: the cost matrix is all dummy columns.
+        let old = vec![set(&[(0, 100)]), set(&[(100, 200)]), set(&[(200, 300)])];
+        let plan = plan_transition(&old, &[]);
+        assert_eq!(plan.total_transfer, 0);
+        assert_eq!(plan.decommissioned(), 3);
+        assert_eq!(plan.provisioned(), 0);
+        assert_eq!(plan.reused().count(), 0);
+    }
+
+    #[test]
+    fn single_old_node_to_single_new_node() {
+        let old = vec![set(&[(0, 100)])];
+        let new = vec![set(&[(50, 180)])];
+        let plan = plan_transition(&old, &new);
+        assert_eq!(plan.total_transfer, 80);
+        let reused: Vec<_> = plan.reused().collect();
+        assert_eq!(reused, vec![(NodeId(0), NodeId(0), 80)]);
+    }
+
+    #[test]
+    fn rectangular_wide_growth() {
+        // 1 old node, 4 new: three provisions plus one reuse, and the reuse
+        // must pick the new node most similar to the survivor.
+        let old = vec![set(&[(0, 100)])];
+        let new = vec![
+            set(&[(300, 400)]),
+            set(&[(0, 90)]),
+            set(&[(100, 200)]),
+            set(&[(200, 300)]),
+        ];
+        let plan = plan_transition(&old, &new);
+        assert_eq!(plan.provisioned(), 3);
+        assert_eq!(plan.decommissioned(), 0);
+        let reused: Vec<_> = plan.reused().collect();
+        assert_eq!(reused, vec![(NodeId(0), NodeId(1), 0)]);
+        // 100 + 100 + 100 provisioned, 0 for the reuse.
+        assert_eq!(plan.total_transfer, 300);
+    }
+
+    #[test]
+    fn rectangular_deep_shrink() {
+        // 4 old nodes, 1 new: three decommissions, and the survivor is the
+        // old node needing the least copying.
+        let old = vec![
+            set(&[(300, 400)]),
+            set(&[(0, 60)]),
+            set(&[(0, 95)]),
+            set(&[(200, 300)]),
+        ];
+        let new = vec![set(&[(0, 100)])];
+        let plan = plan_transition(&old, &new);
+        assert_eq!(plan.decommissioned(), 3);
+        assert_eq!(plan.provisioned(), 0);
+        let reused: Vec<_> = plan.reused().collect();
+        assert_eq!(reused, vec![(NodeId(2), NodeId(0), 5)]);
+        assert_eq!(plan.total_transfer, 5);
+    }
+
+    #[test]
+    fn empty_interval_sets_are_valid_nodes() {
+        // A node holding nothing (all replicas evacuated) still matches:
+        // turning it into any new node costs that node's full contents.
+        let old = vec![IntervalSet::new(), set(&[(0, 100)])];
+        let new = vec![set(&[(0, 100)]), set(&[(100, 150)])];
+        let plan = plan_transition(&old, &new);
+        // Reuse the full node for free, fill the empty one with 50 tuples.
+        assert_eq!(plan.total_transfer, 50);
+        assert_eq!(plan.provisioned(), 0);
     }
 
     #[test]

@@ -18,6 +18,38 @@ use std::collections::VecDeque;
 
 use tree::Endpoint;
 
+/// Errors from value-tree scan removal: both variants indicate the caller is
+/// trying to un-track a scan endpoint that is not currently tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueTreeError {
+    /// No windowed scan starts or ends at the key.
+    UntrackedKey {
+        /// The untracked tuple index.
+        key: u64,
+    },
+    /// The key is tracked, but no scan with the given endpoint kind (start
+    /// vs. end) was inserted there.
+    EndpointUnderflow {
+        /// The tuple index whose endpoint count would go negative.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for ValueTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueTreeError::UntrackedKey { key } => {
+                write!(f, "removing a scan endpoint at untracked key {key}")
+            }
+            ValueTreeError::EndpointUnderflow { key } => {
+                write!(f, "removing a scan endpoint never inserted at key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValueTreeError {}
+
 /// A range scan annotated with the share of its query's price it carries
 /// (paper Eq. 1).
 ///
@@ -128,7 +160,11 @@ pub trait ValueTreeBackend: Default {
     /// Records a scan's endpoints with weight `Price(s)/Size(s)`.
     fn add_scan(&mut self, scan: &PricedScan);
     /// Reverses [`add_scan`](Self::add_scan) when the scan leaves the window.
-    fn remove_scan(&mut self, scan: &PricedScan);
+    ///
+    /// # Errors
+    /// Fails (leaving the tree unchanged) when the scan was never added —
+    /// see [`ValueTreeError`].
+    fn remove_scan(&mut self, scan: &PricedScan) -> Result<(), ValueTreeError>;
     /// Visits in-order `(key, ∆)` pairs.
     fn visit_deltas(&self, visit: &mut dyn FnMut(u64, f64));
     /// Number of tracked breakpoints.
@@ -140,9 +176,14 @@ impl ValueTreeBackend for AvlValueTree {
         self.add(scan.start, scan.weight(), Endpoint::Start);
         self.add(scan.end, scan.weight(), Endpoint::End);
     }
-    fn remove_scan(&mut self, scan: &PricedScan) {
-        self.remove(scan.start, scan.weight(), Endpoint::Start);
-        self.remove(scan.end, scan.weight(), Endpoint::End);
+    fn remove_scan(&mut self, scan: &PricedScan) -> Result<(), ValueTreeError> {
+        // A scan spans two distinct keys; validate both before touching
+        // either so a failed removal leaves the tree fully intact.
+        self.check_removable(scan.start, Endpoint::Start)?;
+        self.check_removable(scan.end, Endpoint::End)?;
+        self.remove(scan.start, scan.weight(), Endpoint::Start)?;
+        self.remove(scan.end, scan.weight(), Endpoint::End)?;
+        Ok(())
     }
     fn visit_deltas(&self, visit: &mut dyn FnMut(u64, f64)) {
         for (k, d) in self.deltas() {
@@ -159,9 +200,12 @@ impl ValueTreeBackend for BTreeValueTree {
         self.add(scan.start, scan.weight(), Endpoint::Start);
         self.add(scan.end, scan.weight(), Endpoint::End);
     }
-    fn remove_scan(&mut self, scan: &PricedScan) {
-        self.remove(scan.start, scan.weight(), Endpoint::Start);
-        self.remove(scan.end, scan.weight(), Endpoint::End);
+    fn remove_scan(&mut self, scan: &PricedScan) -> Result<(), ValueTreeError> {
+        self.check_removable(scan.start, Endpoint::Start)?;
+        self.check_removable(scan.end, Endpoint::End)?;
+        self.remove(scan.start, scan.weight(), Endpoint::Start)?;
+        self.remove(scan.end, scan.weight(), Endpoint::End)?;
+        Ok(())
     }
     fn visit_deltas(&self, visit: &mut dyn FnMut(u64, f64)) {
         for (k, d) in self.deltas() {
@@ -241,18 +285,29 @@ impl<B: ValueTreeBackend> TupleValueEstimator<B> {
         &self.tree
     }
 
+    /// The scans currently in the window, oldest first.
+    pub fn scans(&self) -> impl Iterator<Item = &PricedScan> + '_ {
+        self.window.iter()
+    }
+
     /// Folds one priced scan into the window, evicting the oldest scan if
     /// the window is full. Returns the evicted scan, if any.
     pub fn observe(&mut self, scan: PricedScan) -> Option<PricedScan> {
-        self.tree.add_scan(&scan);
-        self.window.push_back(scan);
-        if self.window.len() > self.capacity {
-            let old = self.window.pop_front().expect("len > capacity > 0");
-            self.tree.remove_scan(&old);
-            Some(old)
+        let evicted = if self.window.len() == self.capacity {
+            self.window.pop_front()
         } else {
             None
+        };
+        if let Some(old) = &evicted {
+            // Every windowed scan was added to the tree when it entered the
+            // window, so removing it on eviction cannot fail.
+            if let Err(e) = self.tree.remove_scan(old) {
+                unreachable!("windowed scan missing from value tree: {e}");
+            }
         }
+        self.tree.add_scan(&scan);
+        self.window.push_back(scan);
+        evicted
     }
 
     /// Folds a whole query in: splits `price` across `scans` by Eq. 1 and

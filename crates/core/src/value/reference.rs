@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use super::tree::Endpoint;
+use super::ValueTreeError;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
@@ -53,25 +54,58 @@ impl BTreeValueTree {
         }
     }
 
-    pub(crate) fn remove(&mut self, key: u64, weight: f64, endpoint: Endpoint) {
+    pub(crate) fn remove(
+        &mut self,
+        key: u64,
+        weight: f64,
+        endpoint: Endpoint,
+    ) -> Result<(), ValueTreeError> {
         let e = self
             .map
             .get_mut(&key)
-            .unwrap_or_else(|| panic!("removing a scan endpoint at untracked key {key}"));
+            .ok_or(ValueTreeError::UntrackedKey { key })?;
         match endpoint {
             Endpoint::Start => {
-                assert!(e.start_count > 0, "no scan starts at key {key}");
+                let next = e
+                    .start_count
+                    .checked_sub(1)
+                    .ok_or(ValueTreeError::EndpointUnderflow { key })?;
                 e.delta -= weight;
-                e.start_count -= 1;
+                e.start_count = next;
             }
             Endpoint::End => {
-                assert!(e.end_count > 0, "no scan ends at key {key}");
+                let next = e
+                    .end_count
+                    .checked_sub(1)
+                    .ok_or(ValueTreeError::EndpointUnderflow { key })?;
                 e.delta += weight;
-                e.end_count -= 1;
+                e.end_count = next;
             }
         }
         if e.start_count == 0 && e.end_count == 0 {
             self.map.remove(&key);
+        }
+        Ok(())
+    }
+
+    /// Verifies that a scan endpoint of the given kind is tracked at `key`.
+    pub(crate) fn check_removable(
+        &self,
+        key: u64,
+        endpoint: Endpoint,
+    ) -> Result<(), ValueTreeError> {
+        let e = self
+            .map
+            .get(&key)
+            .ok_or(ValueTreeError::UntrackedKey { key })?;
+        let count = match endpoint {
+            Endpoint::Start => e.start_count,
+            Endpoint::End => e.end_count,
+        };
+        if count > 0 {
+            Ok(())
+        } else {
+            Err(ValueTreeError::EndpointUnderflow { key })
         }
     }
 
@@ -96,18 +130,25 @@ mod tests {
         let d: Vec<_> = t.deltas().collect();
         assert_eq!(d[0].0, 0);
         assert!((d[0].1 - 1.5).abs() < 1e-12);
-        t.remove(0, 1.0, Endpoint::Start);
-        t.remove(10, 1.0, Endpoint::End);
+        t.remove(0, 1.0, Endpoint::Start).unwrap();
+        t.remove(10, 1.0, Endpoint::End).unwrap();
         assert_eq!(t.len(), 2);
-        t.remove(0, 0.5, Endpoint::Start);
-        t.remove(5, 0.5, Endpoint::End);
+        t.remove(0, 0.5, Endpoint::Start).unwrap();
+        t.remove(5, 0.5, Endpoint::End).unwrap();
         assert!(t.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "untracked key")]
-    fn remove_unknown_panics() {
+    fn remove_unknown_is_an_error() {
         let mut t = BTreeValueTree::new();
-        t.remove(1, 1.0, Endpoint::Start);
+        assert_eq!(
+            t.remove(1, 1.0, Endpoint::Start),
+            Err(ValueTreeError::UntrackedKey { key: 1 })
+        );
+        t.add(1, 1.0, Endpoint::End);
+        assert_eq!(
+            t.remove(1, 1.0, Endpoint::Start),
+            Err(ValueTreeError::EndpointUnderflow { key: 1 })
+        );
     }
 }

@@ -13,6 +13,8 @@
 
 use std::cmp::Ordering;
 
+use super::ValueTreeError;
+
 /// One tree node: a unique scan start/end index and its aggregated deltas.
 #[derive(Debug)]
 struct Node {
@@ -56,7 +58,9 @@ fn balance_factor(node: &Node) -> i32 {
 }
 
 fn rotate_right(mut root: Box<Node>) -> Box<Node> {
-    let mut new_root = root.left.take().expect("rotate_right without left child");
+    let Some(mut new_root) = root.left.take() else {
+        unreachable!("rotate_right is only called on a left-heavy node");
+    };
     root.left = new_root.right.take();
     update(&mut root);
     new_root.right = Some(root);
@@ -65,7 +69,9 @@ fn rotate_right(mut root: Box<Node>) -> Box<Node> {
 }
 
 fn rotate_left(mut root: Box<Node>) -> Box<Node> {
-    let mut new_root = root.right.take().expect("rotate_left without right child");
+    let Some(mut new_root) = root.right.take() else {
+        unreachable!("rotate_left is only called on a right-heavy node");
+    };
     root.right = new_root.left.take();
     update(&mut root);
     new_root.left = Some(root);
@@ -77,13 +83,15 @@ fn rebalance(mut node: Box<Node>) -> Box<Node> {
     update(&mut node);
     let bf = balance_factor(&node);
     if bf > 1 {
-        if balance_factor(node.left.as_ref().expect("bf>1 implies left")) < 0 {
-            node.left = Some(rotate_left(node.left.take().expect("checked")));
+        // bf > 1 implies a left child of height >= 2.
+        if node.left.as_ref().is_some_and(|l| balance_factor(l) < 0) {
+            node.left = node.left.take().map(rotate_left);
         }
         rotate_right(node)
     } else if bf < -1 {
-        if balance_factor(node.right.as_ref().expect("bf<-1 implies right")) > 0 {
-            node.right = Some(rotate_right(node.right.take().expect("checked")));
+        // bf < -1 implies a right child of height >= 2.
+        if node.right.as_ref().is_some_and(|r| balance_factor(r) > 0) {
+            node.right = node.right.take().map(rotate_right);
         }
         rotate_left(node)
     } else {
@@ -148,10 +156,19 @@ impl AvlValueTree {
     /// Reverses a prior [`add`](Self::add) when a scan leaves the window.
     /// Deletes the node once no windowed scan starts or ends at its key.
     ///
-    /// # Panics
-    /// Panics if no scan with this endpoint is tracked at `key` — removing a
-    /// scan that was never inserted is a caller bug.
-    pub(crate) fn remove(&mut self, key: u64, weight: f64, endpoint: Endpoint) {
+    /// # Errors
+    /// Returns [`ValueTreeError::UntrackedKey`] if no scan endpoint is
+    /// tracked at `key`, and [`ValueTreeError::EndpointUnderflow`] if no
+    /// scan with this endpoint kind was inserted there. On error the tree is
+    /// left unchanged.
+    pub(crate) fn remove(
+        &mut self,
+        key: u64,
+        weight: f64,
+        endpoint: Endpoint,
+    ) -> Result<(), ValueTreeError> {
+        // Validate up front so a failed removal cannot mutate half the path.
+        self.check_removable(key, endpoint)?;
         let signed = match endpoint {
             Endpoint::Start => -weight,
             Endpoint::End => weight,
@@ -162,6 +179,34 @@ impl AvlValueTree {
         if deleted {
             self.len -= 1;
         }
+        Ok(())
+    }
+
+    /// Verifies that a scan endpoint of the given kind is tracked at `key`.
+    pub(crate) fn check_removable(
+        &self,
+        key: u64,
+        endpoint: Endpoint,
+    ) -> Result<(), ValueTreeError> {
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            match key.cmp(&n.key) {
+                Ordering::Equal => {
+                    let count = match endpoint {
+                        Endpoint::Start => n.start_count,
+                        Endpoint::End => n.end_count,
+                    };
+                    return if count > 0 {
+                        Ok(())
+                    } else {
+                        Err(ValueTreeError::EndpointUnderflow { key })
+                    };
+                }
+                Ordering::Less => node = n.left.as_deref(),
+                Ordering::Greater => node = n.right.as_deref(),
+            }
+        }
+        Err(ValueTreeError::UntrackedKey { key })
     }
 
     fn insert_into(
@@ -170,13 +215,10 @@ impl AvlValueTree {
         signed_weight: f64,
         endpoint: Endpoint,
     ) -> (Box<Node>, bool) {
-        let mut node = match node {
-            None => {
-                let mut n = Node::new(key);
-                Self::apply(&mut n, signed_weight, endpoint, 1);
-                return (n, true);
-            }
-            Some(n) => n,
+        let Some(mut node) = node else {
+            let mut n = Node::new(key);
+            Self::apply(&mut n, signed_weight, endpoint, 1);
+            return (n, true);
         };
         let created = match key.cmp(&node.key) {
             Ordering::Equal => {
@@ -201,16 +243,17 @@ impl AvlValueTree {
 
     fn apply(node: &mut Node, signed_weight: f64, endpoint: Endpoint, dir: i64) {
         node.delta += signed_weight;
+        let key = node.key;
         let bump = |count: &mut u32| {
             if dir > 0 {
                 *count += 1;
             } else {
-                assert!(
-                    *count > 0,
-                    "removing a scan endpoint never inserted at key {}",
-                    node.key
-                );
-                *count -= 1;
+                // Removals are validated by `check_removable` before any
+                // mutation, so the count cannot underflow here.
+                let Some(next) = count.checked_sub(1) else {
+                    unreachable!("unvalidated removal at key {key}");
+                };
+                *count = next;
             }
         };
         match endpoint {
@@ -225,9 +268,9 @@ impl AvlValueTree {
         signed_weight: f64,
         endpoint: Endpoint,
     ) -> (Option<Box<Node>>, bool) {
-        let mut node = match node {
-            None => panic!("removing a scan endpoint at untracked key {key}"),
-            Some(n) => n,
+        let Some(mut node) = node else {
+            // `check_removable` proved the key exists before we started.
+            unreachable!("unvalidated removal at untracked key {key}");
         };
         let deleted = match key.cmp(&node.key) {
             Ordering::Equal => {
@@ -297,21 +340,31 @@ impl AvlValueTree {
         height(&self.root)
     }
 
-    #[cfg(test)]
-    pub(crate) fn assert_balanced(&self) {
-        fn walk(node: &Option<Box<Node>>) -> i32 {
+    /// Walks the whole tree checking the AVL balance factor and the cached
+    /// height of every node, returning the key of the first offender.
+    #[cfg(any(test, feature = "invariant-audit"))]
+    pub(crate) fn balance_violation(&self) -> Option<u64> {
+        fn walk(node: &Option<Box<Node>>) -> Result<i32, u64> {
             match node {
-                None => 0,
+                None => Ok(0),
                 Some(n) => {
-                    let l = walk(&n.left);
-                    let r = walk(&n.right);
-                    assert!((l - r).abs() <= 1, "unbalanced at key {}", n.key);
-                    assert_eq!(n.height, 1 + l.max(r), "stale height at key {}", n.key);
-                    n.height
+                    let l = walk(&n.left)?;
+                    let r = walk(&n.right)?;
+                    if (l - r).abs() > 1 || n.height != 1 + l.max(r) {
+                        return Err(n.key);
+                    }
+                    Ok(n.height)
                 }
             }
         }
-        walk(&self.root);
+        walk(&self.root).err()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn assert_balanced(&self) {
+        if let Some(key) = self.balance_violation() {
+            panic!("unbalanced or stale height at key {key}");
+        }
     }
 }
 
@@ -350,8 +403,8 @@ mod tests {
     }
 
     fn remove_scan(tree: &mut AvlValueTree, start: u64, end: u64, weight: f64) {
-        tree.remove(start, weight, Endpoint::Start);
-        tree.remove(end, weight, Endpoint::End);
+        tree.remove(start, weight, Endpoint::Start).unwrap();
+        tree.remove(end, weight, Endpoint::End).unwrap();
     }
 
     /// The paper's Figure 2: scans (7,10,price 6), (4,10,price 3),
@@ -371,11 +424,11 @@ mod tests {
         assert_eq!(t.len(), 5);
         let deltas: Vec<(u64, f64)> = t.deltas().collect();
         let expect = [
-            (0u64, 1.0),  // S=1, E=0
-            (4, 0.5),     // S=0.5, E=0
-            (5, -1.0),    // S=0, E=1
-            (7, 2.0),     // S=2, E=0
-            (10, -2.5),   // S=0, E=2.5
+            (0u64, 1.0), // S=1, E=0
+            (4, 0.5),    // S=0.5, E=0
+            (5, -1.0),   // S=0, E=1
+            (7, 2.0),    // S=2, E=0
+            (10, -2.5),  // S=0, E=2.5
         ];
         assert_eq!(deltas.len(), expect.len());
         for ((k, d), (ek, ed)) in deltas.iter().zip(expect.iter()) {
@@ -423,18 +476,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "untracked key")]
-    fn removing_unknown_key_panics() {
+    fn removing_unknown_key_is_an_error() {
         let mut t = AvlValueTree::new();
-        t.remove(3, 1.0, Endpoint::Start);
+        assert_eq!(
+            t.remove(3, 1.0, Endpoint::Start),
+            Err(ValueTreeError::UntrackedKey { key: 3 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "never inserted")]
-    fn removing_wrong_endpoint_panics() {
+    fn removing_wrong_endpoint_is_an_error() {
         let mut t = AvlValueTree::new();
         t.add(3, 1.0, Endpoint::Start);
-        t.remove(3, 1.0, Endpoint::End);
+        assert_eq!(
+            t.remove(3, 1.0, Endpoint::End),
+            Err(ValueTreeError::EndpointUnderflow { key: 3 })
+        );
+        // The failed removal left the tree untouched.
+        assert_eq!(t.len(), 1);
+        let d: Vec<_> = t.deltas().collect();
+        assert!((d[0].1 - 1.0).abs() < 1e-12);
     }
 
     #[test]

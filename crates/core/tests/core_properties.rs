@@ -17,11 +17,7 @@ use nashdb_core::value::{Chunk, PricedScan, TupleValueEstimator};
 const TABLE: u64 = 5_000;
 
 fn arb_scans() -> impl Strategy<Value = Vec<PricedScan>> {
-    proptest::collection::vec(
-        (0..TABLE - 1, 1..TABLE / 2, 0.01f64..5.0),
-        1..60,
-    )
-    .prop_map(|v| {
+    proptest::collection::vec((0..TABLE - 1, 1..TABLE / 2, 0.01f64..5.0), 1..60).prop_map(|v| {
         v.into_iter()
             .map(|(s, l, p)| PricedScan::new(s, (s + l).min(TABLE), p))
             .collect()
@@ -75,7 +71,7 @@ proptest! {
         let prefix = ChunkPrefix::new(&chunks);
         let table = prefix.table_len();
         // Expand V(x) per tuple (tables here are tiny).
-        let mut v = Vec::with_capacity(table as usize);
+        let mut v = Vec::with_capacity(nashdb_core::num::usize_from(table));
         for c in &chunks {
             for _ in c.start..c.end {
                 v.push(c.value);
@@ -86,7 +82,7 @@ proptest! {
             if a >= b {
                 continue;
             }
-            let xs = &v[a as usize..b as usize];
+            let xs = &v[nashdb_core::num::usize_from(a)..nashdb_core::num::usize_from(b)];
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let direct: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
             let fast = prefix.error(a, b);
@@ -163,6 +159,150 @@ proptest! {
         for (s, &r) in stats.iter().zip(&out.replicas) {
             let ideal = ideal_replicas(50, s.value, s.range.size(), &policy.spec).min(500);
             prop_assert_eq!(r, ideal, "fragment {}", s.id);
+        }
+    }
+}
+
+/// The invariant audits themselves, property-tested: every artifact the real
+/// pipeline produces must pass its audit, and deliberately corrupted
+/// artifacts must fail it.
+#[cfg(feature = "invariant-audit")]
+mod audit_props {
+    use super::*;
+    use nashdb_core::audit::{
+        audit_equilibrium, audit_fragmentation, audit_packing, audit_transition,
+        audit_tree_consistency, audit_value_tree, AuditError,
+    };
+    use nashdb_core::fragment::{fragment_stats, optimal_fragmentation, Fragmentation};
+    use nashdb_core::replication::ClusterScheme;
+    use nashdb_core::transition::{plan_transition, IntervalSet};
+
+    fn arb_interval_nodes() -> impl Strategy<Value = Vec<IntervalSet>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u64..1_000, 1u64..300), 1..4),
+            0..5,
+        )
+        .prop_map(|nodes| {
+            nodes
+                .into_iter()
+                .map(|runs| IntervalSet::from_intervals(runs.into_iter().map(|(s, l)| (s, s + l))))
+                .collect()
+        })
+    }
+
+    fn build_scheme(
+        chunks: &[Chunk],
+        k: usize,
+    ) -> Result<ClusterScheme, nashdb_core::replication::PackError> {
+        let frag = optimal_fragmentation(chunks, k);
+        let stats = fragment_stats(&frag, chunks);
+        let policy = ReplicationPolicy::new(50, NodeSpec::new(1_000.0, frag.table_len()));
+        ClusterScheme::build(&stats, policy)
+    }
+
+    proptest! {
+        /// §4: a churned estimator always passes the balance and
+        /// window-consistency audit.
+        #[test]
+        fn value_tree_audit_accepts_real_estimators(
+            scans in arb_scans(),
+            window in 1usize..24,
+        ) {
+            let mut est = TupleValueEstimator::new(window);
+            for s in &scans {
+                est.observe(*s);
+            }
+            prop_assert!(audit_value_tree(&est).is_ok());
+        }
+
+        /// §4 negative: a window claiming a scan the tree never saw is
+        /// always caught.
+        #[test]
+        fn value_tree_audit_rejects_fabricated_scan(scans in arb_scans()) {
+            let mut est = TupleValueEstimator::new(scans.len());
+            for s in &scans {
+                est.observe(*s);
+            }
+            let mut claimed: Vec<PricedScan> = est.scans().copied().collect();
+            claimed.push(PricedScan::new(0, TABLE, 1_000.0));
+            prop_assert!(audit_tree_consistency(est.tree(), &claimed).is_err());
+        }
+
+        /// §5: the DP fragmenter's output always passes the audit that
+        /// re-runs the DP against it.
+        #[test]
+        fn fragmentation_audit_accepts_optimal(chunks in arb_chunks(), k in 1usize..6) {
+            let frag = optimal_fragmentation(&chunks, k);
+            prop_assert!(audit_fragmentation(&frag, &chunks, k).is_ok());
+        }
+
+        /// §5 negative: a fragmentation for the wrong table length is
+        /// always a coverage gap.
+        #[test]
+        fn fragmentation_audit_rejects_wrong_table(chunks in arb_chunks()) {
+            let table = chunks.last().map_or(0, |c| c.end);
+            let frag = Fragmentation::from_boundaries(vec![0, table + 7]);
+            let is_gap = matches!(
+                audit_fragmentation(&frag, &chunks, 8),
+                Err(AuditError::CoverageGap { .. })
+            );
+            prop_assert!(is_gap);
+        }
+
+        /// §6: a scheme built by Eq. 9 + BFFD always satisfies the packing
+        /// constraints and is a Nash equilibrium.
+        #[test]
+        fn built_scheme_audits_clean(chunks in arb_chunks(), k in 1usize..6) {
+            let scheme = build_scheme(&chunks, k).unwrap();
+            prop_assert!(
+                audit_packing(&scheme.nodes, &scheme.decisions, scheme.policy.spec.disk).is_ok()
+            );
+            prop_assert!(audit_equilibrium(&scheme.economic_config()).is_ok());
+        }
+
+        /// §6 negative: duplicating any replica on any node breaks either
+        /// the class constraint or the replica-count bookkeeping.
+        #[test]
+        fn packing_audit_rejects_duplicate(chunks in arb_chunks()) {
+            let mut scheme = build_scheme(&chunks, 4).unwrap();
+            let f = scheme.nodes[0][0];
+            scheme.nodes[0].push(f);
+            prop_assert!(
+                audit_packing(&scheme.nodes, &scheme.decisions, scheme.policy.spec.disk).is_err()
+            );
+        }
+
+        /// §6 negative: inflating a replica count without repacking is
+        /// structurally malformed.
+        #[test]
+        fn equilibrium_audit_rejects_phantom_replicas(chunks in arb_chunks()) {
+            let mut scheme = build_scheme(&chunks, 4).unwrap();
+            scheme.decisions[0].replicas += 5;
+            scheme.decisions[0].forced = false;
+            prop_assert!(audit_equilibrium(&scheme.economic_config()).is_err());
+        }
+
+        /// §7: the Hungarian plan always passes the structural audit and
+        /// the brute-force minimality certificate (instances here are small
+        /// enough that the certificate always runs).
+        #[test]
+        fn transition_audit_accepts_hungarian_plans(
+            old in arb_interval_nodes(),
+            new in arb_interval_nodes(),
+        ) {
+            let plan = plan_transition(&old, &new);
+            prop_assert!(audit_transition(&old, &new, &plan).is_ok());
+        }
+
+        /// §7 negative: any tampering with the claimed total is caught.
+        #[test]
+        fn transition_audit_rejects_tampered_total(
+            old in arb_interval_nodes(),
+            new in arb_interval_nodes(),
+        ) {
+            let mut plan = plan_transition(&old, &new);
+            plan.total_transfer += 1;
+            prop_assert!(audit_transition(&old, &new, &plan).is_err());
         }
     }
 }

@@ -10,6 +10,7 @@ use nashdb_core::fragment::{
     GreedyFragmenter,
 };
 use nashdb_core::ids::{FragmentId, TableId};
+use nashdb_core::num::{saturating_u64, usize_from};
 use nashdb_core::replication::{decide_replicas, ReplicationPolicy};
 use nashdb_core::value::{PricedScan, TupleValueEstimator};
 use nashdb_workload::Database;
@@ -94,6 +95,17 @@ pub struct NashDbDistributor {
 /// A fragment's stable identity across reconfigurations.
 type PlacementKey = (TableId, FragmentRange);
 
+impl std::fmt::Debug for NashDbDistributor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NashDbDistributor")
+            .field("cfg", &self.cfg)
+            .field("tables", &self.tables.len())
+            .field("converged", &self.converged)
+            .field("nodes", &self.placement.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl NashDbDistributor {
     /// Creates the system for a database.
     pub fn new(db: &Database, cfg: NashDbConfig) -> Self {
@@ -168,7 +180,11 @@ impl NashDbDistributor {
         //    are the most recently opened and emptiest on average).
         for node in self.placement.iter_mut().rev() {
             node.retain(|k| {
-                let cur = current.get_mut(k).expect("counted above");
+                // Every retained key was counted in step 2, so the lookup
+                // always succeeds; an absent key is simply kept.
+                let Some(cur) = current.get_mut(k) else {
+                    return true;
+                };
                 if *cur > desired[k] {
                     *cur -= 1;
                     false
@@ -225,9 +241,7 @@ impl NashDbDistributor {
                         self.placement[n].push(k);
                         used[n] += size;
                         // The reclaimed overlap is no longer "lost" there.
-                        if let Some(pos) =
-                            removed[n].iter().position(|r| overlap(r, &k) > 0)
-                        {
+                        if let Some(pos) = removed[n].iter().position(|r| overlap(r, &k) > 0) {
                             removed[n].swap_remove(pos);
                         }
                     }
@@ -324,13 +338,15 @@ impl Distributor for NashDbDistributor {
         }
         for s in &query.scans {
             let mut price = query.price * s.size() as f64 / total as f64;
-            let table = &mut self.tables[s.table.get() as usize];
+            let table = &mut self.tables[usize_from(s.table.get())];
             let end = s.end.min(table.tuples);
             if s.start < end {
                 let size = end - s.start;
                 let effective = size.max(block.min(table.tuples));
                 price *= size as f64 / effective as f64;
-                table.estimator.observe(PricedScan::new(s.start, end, price));
+                table
+                    .estimator
+                    .observe(PricedScan::new(s.start, end, price));
             }
         }
     }
@@ -348,7 +364,9 @@ impl Distributor for NashDbDistributor {
             let rounds = if self.converged {
                 self.cfg.greedy_rounds
             } else {
-                self.cfg.greedy_rounds.max(24 * self.cfg.max_frags_per_table)
+                self.cfg
+                    .greedy_rounds
+                    .max(24 * self.cfg.max_frags_per_table)
             };
             let frag = if self.cfg.use_optimal_fragmentation {
                 optimal_fragmentation(&chunks, self.cfg.max_frags_per_table)
@@ -356,6 +374,23 @@ impl Distributor for NashDbDistributor {
                 t.fragmenter.run(&chunks, rounds);
                 t.fragmenter.fragmentation()
             };
+            #[cfg(feature = "invariant-audit")]
+            {
+                let audit = nashdb_core::audit::audit_value_tree(&t.estimator);
+                assert!(
+                    audit.is_ok(),
+                    "table {t_idx} value-tree audit failed: {audit:?}"
+                );
+                let audit = nashdb_core::audit::audit_fragmentation(
+                    &frag,
+                    &chunks,
+                    self.cfg.max_frags_per_table,
+                );
+                assert!(
+                    audit.is_ok(),
+                    "table {t_idx} fragmentation audit failed: {audit:?}"
+                );
+            }
             let frag = split_oversized(
                 &frag,
                 self.cfg.spec.disk.min(self.cfg.max_fragment_tuples.max(1)),
@@ -366,10 +401,7 @@ impl Distributor for NashDbDistributor {
                     table: nashdb_core::ids::TableId(t_idx as u64),
                     range: s.range,
                 });
-                stats.push(FragmentStats {
-                    id: global_id,
-                    ..s
-                });
+                stats.push(FragmentStats { id: global_id, ..s });
             }
         }
 
@@ -379,13 +411,13 @@ impl Distributor for NashDbDistributor {
         // scheme.
         let mut decisions = decide_replicas(&stats, &policy);
         for d in &mut decisions {
-            let key = (globals[d.id.get() as usize].table, d.range);
+            let key = (globals[usize_from(d.id.get())].table, d.range);
             if let Some(&old) = self.prev_counts.get(&key) {
                 // Counting noise in a |W|-scan window moves V(f) (hence
                 // Ideal) by ~±25% between periods; inside that band the
                 // marginal replica is profit-neutral either way, so keep
                 // the old count and a quiet cluster.
-                let band = ((old as f64) * 0.25).ceil().max(1.0) as u64;
+                let band = saturating_u64(((old as f64) * 0.25).ceil().max(1.0));
                 if d.replicas.abs_diff(old) <= band {
                     d.replicas = old;
                 }
@@ -393,10 +425,20 @@ impl Distributor for NashDbDistributor {
         }
         self.prev_counts = decisions
             .iter()
-            .map(|d| ((globals[d.id.get() as usize].table, d.range), d.replicas))
+            .map(|d| ((globals[usize_from(d.id.get())].table, d.range), d.replicas))
             .collect();
 
         let nodes = self.place(&globals, &decisions);
+        #[cfg(feature = "invariant-audit")]
+        {
+            let as_frags: Vec<Vec<FragmentId>> = nodes
+                .iter()
+                .map(|node| node.iter().map(|&i| FragmentId(i as u64)).collect())
+                .collect();
+            let audit =
+                nashdb_core::audit::audit_packing(&as_frags, &decisions, self.cfg.spec.disk);
+            assert!(audit.is_ok(), "packing audit failed: {audit:?}");
+        }
         DistScheme::new(globals, nodes)
     }
 
@@ -464,10 +506,7 @@ mod tests {
         };
         let hot = replicas_touching(0, 100_000);
         let cold = replicas_touching(500_000, 600_000);
-        assert!(
-            hot > cold,
-            "hot range has {hot} replicas, cold has {cold}"
-        );
+        assert!(hot > cold, "hot range has {hot} replicas, cold has {cold}");
     }
 
     #[test]
@@ -528,7 +567,10 @@ mod tests {
         };
         let mut nash = NashDbDistributor::new(&database, cfg);
         for i in 0..50 {
-            nash.observe(&query(1.0, &[(0, (i * 97) % 5_000, (i * 97) % 5_000 + 2_000)]));
+            nash.observe(&query(
+                1.0,
+                &[(0, (i * 97) % 5_000, (i * 97) % 5_000 + 2_000)],
+            ));
         }
         let s = nash.scheme();
         assert!(s.covers(&database));

@@ -43,7 +43,7 @@ impl Default for RunConfig {
 impl RunConfig {
     /// ϕ expressed in tuples of queued work at this cluster's throughput.
     pub fn phi_tuples(&self) -> u64 {
-        (self.phi.as_secs_f64() * self.cluster.throughput_tps) as u64
+        nashdb_core::num::saturating_u64(self.phi.as_secs_f64() * self.cluster.throughput_tps)
     }
 }
 
@@ -79,7 +79,13 @@ pub fn run_workload(
     }
     let mut scheme = distributor.scheme();
     let mut intervals = scheme.node_intervals(&workload.db);
-    sim.reconfigure(&plan_transition(&[], &intervals));
+    let initial_plan = plan_transition(&[], &intervals);
+    #[cfg(feature = "invariant-audit")]
+    {
+        let audit = nashdb_core::audit::audit_transition(&[], &intervals, &initial_plan);
+        assert!(audit.is_ok(), "initial provision failed audit: {audit:?}");
+    }
+    sim.reconfigure(&initial_plan);
 
     let phi = cfg.phi_tuples();
     loop {
@@ -87,25 +93,36 @@ pub fn run_workload(
             DriverEvent::QueryArrived { id, query } => {
                 distributor.observe(&query);
                 let requests = scheme.requests_for_query(&query);
-                let sizes: Vec<u64> = requests.iter().map(|r| r.size).collect();
+                let sizes: std::collections::HashMap<_, _> =
+                    requests.iter().map(|r| (r.fragment, r.size)).collect();
                 let mut queues = QueueView::from_waits(sim.queue_waits());
                 let assignments = router.route(&requests, &mut queues);
                 let reads: Vec<(NodeId, u64)> = assignments
                     .iter()
-                    .map(|a| {
-                        let idx = requests
-                            .iter()
-                            .position(|r| r.fragment == a.fragment)
-                            .expect("router assigned an unknown fragment");
-                        (a.node, sizes[idx])
-                    })
+                    .filter_map(|a| sizes.get(&a.fragment).map(|&s| (a.node, s)))
                     .collect();
-                sim.dispatch(id, &reads);
+                assert_eq!(
+                    reads.len(),
+                    assignments.len(),
+                    "router assigned an unknown fragment"
+                );
+                let dispatched = sim.dispatch(id, &reads);
+                assert!(
+                    dispatched.is_ok(),
+                    "driver dispatch rejected: {dispatched:?}"
+                );
             }
             DriverEvent::Wakeup { .. } => {
                 let new_scheme = distributor.scheme();
                 let new_intervals = new_scheme.node_intervals(&workload.db);
-                sim.reconfigure(&plan_transition(&intervals, &new_intervals));
+                let plan = plan_transition(&intervals, &new_intervals);
+                #[cfg(feature = "invariant-audit")]
+                {
+                    let audit =
+                        nashdb_core::audit::audit_transition(&intervals, &new_intervals, &plan);
+                    assert!(audit.is_ok(), "transition failed audit: {audit:?}");
+                }
+                sim.reconfigure(&plan);
                 scheme = new_scheme;
                 intervals = new_intervals;
             }
@@ -178,7 +195,11 @@ mod tests {
         let mut nash = NashDbDistributor::new(&w.db, nash_cfg());
         let m = run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run);
         // Initial provision + at least 3 hourly reconfigurations.
-        assert!(m.reconfigurations >= 4, "only {} reconfigs", m.reconfigurations);
+        assert!(
+            m.reconfigurations >= 4,
+            "only {} reconfigs",
+            m.reconfigurations
+        );
         assert_eq!(m.queries.len(), 60);
     }
 

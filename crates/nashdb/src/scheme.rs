@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use nashdb_cluster::{QueryRequest, ScanRange};
 use nashdb_core::fragment::FragmentRange;
 use nashdb_core::ids::{FragmentId, NodeId, TableId};
+use nashdb_core::num::usize_from;
 use nashdb_core::routing::FragmentRequest;
 use nashdb_core::transition::IntervalSet;
 use nashdb_workload::Database;
@@ -57,7 +58,7 @@ impl DistScheme {
         for (i, gf) in fragments.iter().enumerate() {
             by_table.entry(gf.table).or_default().push(i);
         }
-        for (table, idxs) in by_table.iter_mut() {
+        for (table, idxs) in &mut by_table {
             idxs.sort_by_key(|&i| fragments[i].range.start);
             for w in idxs.windows(2) {
                 assert!(
@@ -106,10 +107,12 @@ impl DistScheme {
     /// Panics if part of the scanned range is not covered by any fragment —
     /// a scheme must cover every tuple a query can touch.
     pub fn requests_for_scan(&self, scan: &ScanRange) -> Vec<FragmentRequest> {
+        // A table with no fragments at all falls through to the coverage
+        // assert below, which reports the uncovered range.
         let idxs = self
             .by_table
             .get(&scan.table)
-            .unwrap_or_else(|| panic!("no fragments for table {}", scan.table));
+            .map_or(&[][..], Vec::as_slice);
         let mut out = Vec::new();
         let mut covered = scan.start;
         let first = idxs.partition_point(|&i| self.fragments[i].range.end <= scan.start);
@@ -129,7 +132,7 @@ impl DistScheme {
             out.push(FragmentRequest {
                 fragment: FragmentId(i as u64),
                 size: r.overlap(scan.start, scan.end),
-                candidates: self.hosts[i].to_vec(),
+                candidates: self.hosts[i].clone(),
             });
         }
         assert!(
@@ -152,7 +155,7 @@ impl DistScheme {
             for req in self.requests_for_scan(scan) {
                 match index.get(&req.fragment) {
                     Some(&i) => {
-                        let cap = self.fragments[req.fragment.get() as usize].range.size();
+                        let cap = self.fragments[usize_from(req.fragment.get())].range.size();
                         out[i].size = (out[i].size + req.size).min(cap);
                     }
                     None => {
@@ -176,7 +179,7 @@ impl DistScheme {
                     .iter()
                     .map(|&f| {
                         let gf = &self.fragments[f];
-                        let off = offsets[gf.table.get() as usize];
+                        let off = offsets[usize_from(gf.table.get())];
                         (off + gf.range.start, off + gf.range.end)
                     })
                     .collect()

@@ -24,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod event;
+mod num;
 pub mod rng;
 pub mod stats;
 pub mod time;

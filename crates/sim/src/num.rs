@@ -1,0 +1,25 @@
+//! Saturating numeric conversions (private mirror of `nashdb_core::num`;
+//! this crate deliberately has no dependency on the core crate).
+
+/// `f64` → `u64` with `as`-cast saturating semantics (NaN → 0, negatives
+/// → 0, overflow → `u64::MAX`), named so call sites state their intent.
+#[must_use]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub(crate) fn saturating_u64(x: f64) -> u64 {
+    x as u64
+}
+
+/// `f64` → `usize` with saturating semantics. See [`saturating_u64`].
+#[must_use]
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub(crate) fn saturating_usize(x: f64) -> usize {
+    x as usize
+}
+
+/// `u64` count → container index, saturating on hypothetical 32-bit
+/// targets so an out-of-range value fails a bounds check instead of
+/// aliasing a wrong element.
+#[must_use]
+pub(crate) fn usize_from(x: u64) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}

@@ -59,12 +59,15 @@ impl SimRng {
     /// query reaches at least `n` GB back from the end of the table is
     /// `(19/20)^n`.
     pub fn geometric(&mut self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 1.0, "geometric requires p in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric requires p in (0,1], got {p}"
+        );
         if p >= 1.0 {
             return 0;
         }
         let u = self.open_unit();
-        (u.ln() / (1.0 - p).ln()).floor() as u64
+        crate::num::saturating_u64((u.ln() / (1.0 - p).ln()).floor())
     }
 
     /// Binomial(`n`, `p`) draw.
@@ -74,10 +77,10 @@ impl SimRng {
     /// draws with no underflow issues at any scale.
     pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
         let p = p.clamp(0.0, 1.0);
-        if p == 0.0 || n == 0 {
+        if p <= 0.0 || n == 0 {
             return 0;
         }
-        if p == 1.0 {
+        if p >= 1.0 {
             return n;
         }
         if p > 0.5 {
@@ -126,7 +129,7 @@ impl RngCore for SimRng {
         self.inner.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+        self.inner.fill_bytes(dest);
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
         self.inner.try_fill_bytes(dest)
@@ -149,7 +152,7 @@ impl ZipfTable {
     /// Panics if `n == 0`.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "zipf over zero ranks");
-        let mut cdf = Vec::with_capacity(n as usize);
+        let mut cdf = Vec::with_capacity(crate::num::usize_from(n));
         let mut acc = 0.0f64;
         for k in 1..=n {
             acc += 1.0 / (k as f64).powf(s);
@@ -259,7 +262,7 @@ mod tests {
         let table = ZipfTable::new(100, 1.1);
         let mut counts = vec![0u64; 100];
         for _ in 0..20_000 {
-            counts[table.sample(&mut rng) as usize] += 1;
+            counts[usize::try_from(table.sample(&mut rng)).unwrap()] += 1;
         }
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[90]);
@@ -272,7 +275,7 @@ mod tests {
         let table = ZipfTable::new(4, 0.0);
         let mut counts = vec![0u64; 4];
         for _ in 0..40_000 {
-            counts[table.sample(&mut rng) as usize] += 1;
+            counts[usize::try_from(table.sample(&mut rng)).unwrap()] += 1;
         }
         for &c in &counts {
             assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");

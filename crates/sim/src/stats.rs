@@ -68,8 +68,7 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
     }
 }
@@ -114,12 +113,11 @@ impl Percentiles {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let rank = crate::num::saturating_usize(((p / 100.0) * self.samples.len() as f64).ceil());
         let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
         Some(self.samples[idx])
     }
@@ -156,7 +154,7 @@ impl TimeSeries {
 
     /// Adds `amount` at time `at`.
     pub fn add(&mut self, at: SimTime, amount: f64) {
-        let idx = (at.as_nanos() / self.width.as_nanos()) as usize;
+        let idx = crate::num::usize_from(at.as_nanos() / self.width.as_nanos());
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0.0);
         }

@@ -88,7 +88,7 @@ impl SimDuration {
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
-        SimDuration((secs * 1e9).round() as u64)
+        SimDuration(crate::num::saturating_u64((secs * 1e9).round()))
     }
 
     /// Raw nanoseconds.
@@ -211,7 +211,10 @@ mod tests {
     fn arithmetic_behaves() {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t.as_nanos(), 1_500_000_000);
-        assert_eq!(t.since(SimTime::from_secs(1)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs(1)),
+            SimDuration::from_millis(500)
+        );
         let mut d = SimDuration::from_secs(1);
         d += SimDuration::from_secs(2);
         assert_eq!(d, SimDuration::from_secs(3));

@@ -51,7 +51,8 @@ pub fn workload(cfg: &BernoulliConfig) -> Workload {
         .map(|i| {
             let reach_gb = rng.geometric(1.0 / 20.0);
             let sub = rng.uniform_f64();
-            let reach = ((reach_gb as f64 + sub) * TUPLES_PER_GB as f64) as u64;
+            let reach =
+                nashdb_core::num::saturating_u64((reach_gb as f64 + sub) * TUPLES_PER_GB as f64);
             let start = table.tuples.saturating_sub(reach.max(1));
             TimedQuery {
                 at: SimTime::ZERO + cfg.spacing * i as u64,
@@ -100,7 +101,11 @@ mod tests {
                 / w.queries.len() as f64
         };
         // P(reach beyond 1 GB back) = 0.95, beyond 2 GB = 0.9025, ...
-        assert!((frac_reaching(1) - 0.95).abs() < 0.02, "{}", frac_reaching(1));
+        assert!(
+            (frac_reaching(1) - 0.95).abs() < 0.02,
+            "{}",
+            frac_reaching(1)
+        );
         assert!((frac_reaching(2) - 0.9025).abs() < 0.02);
         let ten = 0.95f64.powi(10);
         assert!((frac_reaching(10) - ten).abs() < 0.02);

@@ -26,8 +26,8 @@
 pub mod bernoulli;
 pub mod random;
 pub mod realistic;
-pub mod trace;
 pub mod tpch;
+pub mod trace;
 
 use nashdb_cluster::QueryRequest;
 use nashdb_core::ids::TableId;
@@ -58,7 +58,7 @@ pub struct Database {
 impl Database {
     /// Builds a database, assigning dense table ids.
     pub fn new(tables: impl IntoIterator<Item = (&'static str, u64)>) -> Self {
-        let tables = tables
+        let tables: Vec<TableSpec> = tables
             .into_iter()
             .enumerate()
             .map(|(i, (name, tuples))| {
@@ -70,6 +70,7 @@ impl Database {
                 }
             })
             .collect();
+        assert!(!tables.is_empty(), "database needs at least one table");
         Database { tables }
     }
 
@@ -80,15 +81,15 @@ impl Database {
 
     /// The largest table (the "fact table" of the scan-heavy workloads).
     pub fn fact_table(&self) -> &TableSpec {
-        self.tables
-            .iter()
-            .max_by_key(|t| t.tuples)
-            .expect("database has tables")
+        let Some(t) = self.tables.iter().max_by_key(|t| t.tuples) else {
+            unreachable!("the constructor rejects empty databases")
+        };
+        t
     }
 
     /// Looks a table up by id.
     pub fn table(&self, id: TableId) -> &TableSpec {
-        &self.tables[id.get() as usize]
+        &self.tables[id.index()]
     }
 }
 
@@ -167,7 +168,9 @@ impl Workload {
             median_read_gb: reads
                 .get(reads.len().saturating_sub(1) / 2)
                 .map_or(0.0, |&r| r as f64 / TUPLES_PER_GB as f64),
-            min_read_gb: reads.first().map_or(0.0, |&r| r as f64 / TUPLES_PER_GB as f64),
+            min_read_gb: reads
+                .first()
+                .map_or(0.0, |&r| r as f64 / TUPLES_PER_GB as f64),
         }
     }
 }

@@ -57,7 +57,11 @@ pub fn workload(cfg: &RandomConfig) -> Workload {
                 at: SimTime::from_nanos(at),
                 query: QueryRequest {
                     price: cfg.price,
-                    scans: vec![ScanRange::new(table.id, start, end.min(table.tuples).max(start + 1))],
+                    scans: vec![ScanRange::new(
+                        table.id,
+                        start,
+                        end.min(table.tuples).max(start + 1),
+                    )],
                     tag: 0,
                 },
             }
@@ -97,7 +101,11 @@ mod tests {
         let w = workload(&cfg);
         let n = w.db.tables[0].tuples as f64;
         let mean = w.total_read() as f64 / w.queries.len() as f64;
-        assert!((mean / n - 1.0 / 3.0).abs() < 0.02, "mean fraction {}", mean / n);
+        assert!(
+            (mean / n - 1.0 / 3.0).abs() < 0.02,
+            "mean fraction {}",
+            mean / n
+        );
     }
 
     #[test]

@@ -13,10 +13,12 @@
 use nashdb_cluster::{QueryRequest, ScanRange};
 use nashdb_sim::{SimDuration, SimRng, SimTime};
 
+use nashdb_core::num::saturating_u64;
+
 use crate::{Database, TimedQuery, Workload, TUPLES_PER_GB};
 
 fn gb(x: f64) -> u64 {
-    (x * TUPLES_PER_GB as f64) as u64
+    saturating_u64(x * TUPLES_PER_GB as f64)
 }
 
 /// Splits a total read volume across the database's tables (largest first),
@@ -36,7 +38,7 @@ fn spread_scans(db: &Database, total: u64, rng: &mut SimRng) -> Vec<ScanRange> {
         }
         // Read this table's proportional share of the request, capped by
         // the table itself.
-        let share = ((total as f64) * (t.tuples as f64 / db_total as f64)).ceil() as u64;
+        let share = saturating_u64(((total as f64) * (t.tuples as f64 / db_total as f64)).ceil());
         let len = share.clamp(1, t.tuples).min(remaining);
         let start = if len >= t.tuples {
             0
@@ -80,7 +82,7 @@ pub fn real1_static(seed: u64) -> Workload {
     let template_scans: Vec<Vec<ScanRange>> = template_fracs
         .iter()
         .map(|&frac| {
-            let total = (frac * db.total_tuples() as f64) as u64;
+            let total = saturating_u64(frac * db.total_tuples() as f64);
             spread_scans(&db, total, &mut rng)
         })
         .collect();
@@ -94,7 +96,7 @@ pub fn real1_static(seed: u64) -> Workload {
                 query: QueryRequest {
                     price: 1.0,
                     scans: template_scans[t].clone(),
-                    tag: t as u32,
+                    tag: u32::try_from(t).unwrap_or(u32::MAX),
                 },
             }
         })
@@ -133,7 +135,7 @@ pub fn real1_dynamic(seed: u64) -> Workload {
             // sweeps the fact table once over the 72 h, with a daily wobble.
             let phase = at_ns as f64 / duration.as_nanos() as f64;
             let wobble = 0.08 * (phase * 3.0 * std::f64::consts::TAU).sin();
-            let centre = ((phase + wobble).rem_euclid(1.0) * fact.tuples as f64) as u64;
+            let centre = saturating_u64((phase + wobble).rem_euclid(1.0) * fact.tuples as f64);
 
             // Read sizes: 25 % narrow drill-downs (0.05–2 GB), 75 % regional
             // aggregations (15–120 GB); median ≈ 50 GB.
@@ -196,7 +198,7 @@ pub fn real2_dynamic(seed: u64) -> Workload {
             if rng.bernoulli(0.30) {
                 // Point-ish feature read: 80 KB .. 100 MB around a hot key.
                 let rank = zipf.sample(&mut rng);
-                let day_shift = ((phase * 3.0) as u64 * 512) % 4096;
+                let day_shift = (saturating_u64(phase * 3.0) * 512) % 4096;
                 let slot = (rank + day_shift) % 4096;
                 let slot_width = features.tuples / 4096;
                 let base = slot * slot_width;

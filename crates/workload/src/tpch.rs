@@ -12,7 +12,24 @@
 use nashdb_cluster::{QueryRequest, ScanRange};
 use nashdb_sim::{SimDuration, SimRng, SimTime};
 
+use nashdb_core::num::saturating_u64;
+
 use crate::{Database, TimedQuery, Workload, TUPLES_PER_GB};
+
+/// A template number outside TPC-H's `1..=22`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownTemplate {
+    /// The rejected template number.
+    pub template: u32,
+}
+
+impl std::fmt::Display for UnknownTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TPC-H has templates 1..=22, got {}", self.template)
+    }
+}
+
+impl std::error::Error for UnknownTemplate {}
 
 /// Indices of the TPC-H tables in [`database`]'s ordering.
 pub mod tables {
@@ -48,7 +65,7 @@ const TABLE_SHARE: &[(&str, f64)] = &[
 ];
 
 /// How a template's plan touches one table.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Cov {
     /// Scans the whole table.
     Full,
@@ -64,10 +81,10 @@ enum Cov {
 }
 
 /// The scan footprints of the 22 templates: `(table index, coverage)`.
-fn template_footprint(template: u32) -> &'static [(usize, Cov)] {
+fn template_footprint(template: u32) -> Result<&'static [(usize, Cov)], UnknownTemplate> {
     use tables::*;
     use Cov::*;
-    match template {
+    Ok(match template {
         1 => &[(LINEITEM, Suffix(0.97))],
         2 => &[
             (PART, Frac(0.20)),
@@ -76,7 +93,11 @@ fn template_footprint(template: u32) -> &'static [(usize, Cov)] {
             (NATION, Full),
             (REGION, Full),
         ],
-        3 => &[(CUSTOMER, Frac(0.20)), (ORDERS, Frac(0.49)), (LINEITEM, Frac(0.54))],
+        3 => &[
+            (CUSTOMER, Frac(0.20)),
+            (ORDERS, Frac(0.49)),
+            (LINEITEM, Frac(0.54)),
+        ],
         4 => &[(ORDERS, Frac(0.25)), (LINEITEM, Frac(0.30))],
         5 => &[
             (CUSTOMER, Full),
@@ -135,10 +156,15 @@ fn template_footprint(template: u32) -> &'static [(usize, Cov)] {
             (PART, Frac(0.01)),
             (LINEITEM, Frac(0.15)),
         ],
-        21 => &[(SUPPLIER, Full), (LINEITEM, Full), (ORDERS, Full), (NATION, Full)],
+        21 => &[
+            (SUPPLIER, Full),
+            (LINEITEM, Full),
+            (ORDERS, Full),
+            (NATION, Full),
+        ],
         22 => &[(CUSTOMER, Frac(0.25)), (ORDERS, Full)],
-        _ => panic!("TPC-H has templates 1..=22, got {template}"),
-    }
+        _ => return Err(UnknownTemplate { template }),
+    })
 }
 
 /// Builds the TPC-H database at `size_gb` total size.
@@ -148,7 +174,7 @@ pub fn database(size_gb: u64) -> Database {
     Database::new(
         TABLE_SHARE
             .iter()
-            .map(|&(name, share)| (name, ((total as f64 * share) as u64).max(1_000))),
+            .map(|&(name, share)| (name, saturating_u64(total as f64 * share).max(1_000))),
     )
 }
 
@@ -200,10 +226,10 @@ pub fn workload(cfg: &TpchConfig) -> Workload {
                 .iter()
                 .find(|(t, _)| *t == template)
                 .map_or(cfg.price, |(_, p)| *p);
-            queries.push(TimedQuery {
-                at,
-                query: instance(&db, template, price, &mut rng),
-            });
+            let Ok(query) = instance(&db, template, price, &mut rng) else {
+                unreachable!("templates 1..=22 all have footprints")
+            };
+            queries.push(TimedQuery { at, query });
             at += cfg.spacing;
         }
     }
@@ -217,8 +243,16 @@ pub fn workload(cfg: &TpchConfig) -> Workload {
 
 /// One instance of a template: its footprint with predicate positions drawn
 /// from `rng`.
-pub fn instance(db: &Database, template: u32, price: f64, rng: &mut SimRng) -> QueryRequest {
-    let scans = template_footprint(template)
+///
+/// # Errors
+/// Rejects template numbers outside `1..=22`.
+pub fn instance(
+    db: &Database,
+    template: u32,
+    price: f64,
+    rng: &mut SimRng,
+) -> Result<QueryRequest, UnknownTemplate> {
+    let scans = template_footprint(template)?
         .iter()
         .map(|&(table_idx, cov)| {
             let table = &db.tables[table_idx];
@@ -235,26 +269,26 @@ pub fn instance(db: &Database, template: u32, price: f64, rng: &mut SimRng) -> Q
                     (start, start + len)
                 }
                 Cov::Fixed(f, pos) => {
-                    let len = (((n as f64) * f) as u64).clamp(1, n);
-                    let start = (((n - len) as f64) * pos) as u64;
+                    let len = saturating_u64((n as f64) * f).clamp(1, n);
+                    let start = saturating_u64(((n - len) as f64) * pos);
                     (start, start + len)
                 }
             };
             ScanRange::new(table.id, start, end)
         })
         .collect();
-    QueryRequest {
+    Ok(QueryRequest {
         price,
         scans,
         tag: template,
-    }
+    })
 }
 
 /// A scan length near `f × n` with ±20 % per-instance jitter, at least one
 /// tuple and at most the table.
 fn frac_len(n: u64, f: f64, rng: &mut SimRng) -> u64 {
     let jitter = 0.8 + 0.4 * rng.uniform_f64();
-    (((n as f64) * f * jitter) as u64).clamp(1, n)
+    saturating_u64((n as f64) * f * jitter).clamp(1, n)
 }
 
 #[cfg(test)]
@@ -266,7 +300,11 @@ mod tests {
         let db = database(1000);
         let total = db.total_tuples() as f64;
         let li = db.tables[tables::LINEITEM].tuples as f64;
-        assert!((li / total - 0.70).abs() < 0.01, "lineitem share {}", li / total);
+        assert!(
+            (li / total - 0.70).abs() < 0.01,
+            "lineitem share {}",
+            li / total
+        );
         assert_eq!(db.fact_table().name, "lineitem");
         assert_eq!(db.tables.len(), 8);
     }
@@ -274,14 +312,21 @@ mod tests {
     #[test]
     fn all_templates_have_footprints() {
         for t in 1..=22 {
-            assert!(!template_footprint(t).is_empty());
+            assert!(!template_footprint(t).unwrap().is_empty());
         }
     }
 
     #[test]
-    #[should_panic(expected = "templates 1..=22")]
     fn template_zero_rejected() {
-        let _ = template_footprint(0);
+        assert_eq!(template_footprint(0), Err(UnknownTemplate { template: 0 }));
+        assert_eq!(
+            template_footprint(23),
+            Err(UnknownTemplate { template: 23 })
+        );
+        assert_eq!(
+            UnknownTemplate { template: 0 }.to_string(),
+            "TPC-H has templates 1..=22, got 0"
+        );
     }
 
     #[test]
@@ -313,7 +358,11 @@ mod tests {
         let w = workload(&cfg);
         for tq in &w.queries {
             let expect = if tq.query.tag == 7 { 16.0 } else { 1.0 };
-            assert_eq!(tq.query.price, expect, "template {}", tq.query.tag);
+            assert!(
+                (tq.query.price - expect).abs() < 1e-12,
+                "template {}",
+                tq.query.tag
+            );
         }
     }
 
@@ -321,8 +370,8 @@ mod tests {
     fn instances_vary_in_predicate_placement() {
         let db = database(10);
         let mut rng = SimRng::seed_from_u64(1);
-        let a = instance(&db, 6, 1.0, &mut rng);
-        let b = instance(&db, 6, 1.0, &mut rng);
+        let a = instance(&db, 6, 1.0, &mut rng).unwrap();
+        let b = instance(&db, 6, 1.0, &mut rng).unwrap();
         // Template 6 is a Frac scan of lineitem: positions should differ.
         assert_ne!(a.scans[0], b.scans[0]);
     }
@@ -331,7 +380,7 @@ mod tests {
     fn suffix_templates_end_at_table_end() {
         let db = database(10);
         let mut rng = SimRng::seed_from_u64(2);
-        let q = instance(&db, 1, 1.0, &mut rng);
+        let q = instance(&db, 1, 1.0, &mut rng).unwrap();
         assert_eq!(q.scans[0].end, db.tables[tables::LINEITEM].tuples);
     }
 }

@@ -84,12 +84,10 @@ pub fn to_trace(w: &Workload) -> String {
 /// once per run).
 pub fn from_trace(text: &str) -> Result<Workload, TraceError> {
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
-    let (line_no, header) = lines
-        .next()
-        .ok_or_else(|| TraceError {
-            line: 0,
-            message: "empty trace".into(),
-        })?;
+    let (line_no, header) = lines.next().ok_or_else(|| TraceError {
+        line: 0,
+        message: "empty trace".into(),
+    })?;
     if header != "nashdb-trace v1" {
         return err(line_no, format!("bad header {header:?}"));
     }
@@ -111,9 +109,8 @@ pub fn from_trace(text: &str) -> Result<Workload, TraceError> {
                 }
             }
             Some("table") => {
-                let tname = match fields.next() {
-                    Some(t) => t,
-                    None => return err(line_no, "table requires <name> <tuples>"),
+                let Some(tname) = fields.next() else {
+                    return err(line_no, "table requires <name> <tuples>");
                 };
                 let tuples: u64 = match fields.next().map(str::parse) {
                     Some(Ok(n)) if n > 0 => n,
@@ -143,10 +140,10 @@ pub fn from_trace(text: &str) -> Result<Workload, TraceError> {
                     if parts.next().is_some() {
                         return err(line_no, format!("malformed scan triple {triple:?}"));
                     }
-                    if table as usize >= tables.len() {
+                    if nashdb_core::num::usize_from(table) >= tables.len() {
                         return err(line_no, format!("unknown table index {table}"));
                     }
-                    if start >= end || end > tables[table as usize].1 {
+                    if start >= end || end > tables[nashdb_core::num::usize_from(table)].1 {
                         return err(
                             line_no,
                             format!("scan {start}..{end} out of range for table {table}"),
@@ -270,7 +267,11 @@ mod tests {
         let cases = [
             ("wrong header\n", 1, "bad header"),
             ("nashdb-trace v1\ntable t\n", 2, "positive tuple count"),
-            ("nashdb-trace v1\nquery 0 1 0 0:0:1\n", 2, "before any table"),
+            (
+                "nashdb-trace v1\nquery 0 1 0 0:0:1\n",
+                2,
+                "before any table",
+            ),
             (
                 "nashdb-trace v1\ntable t 10\nquery 0 1 0 0:5:20\n",
                 3,

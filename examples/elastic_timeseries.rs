@@ -38,7 +38,7 @@ fn build_workload() -> Workload {
                 query: QueryRequest {
                     price: 1.0,
                     scans: vec![ScanRange::new(TableId(0), start, table.tuples)],
-                    tag: h as u32,
+                    tag: u32::try_from(h).unwrap_or(u32::MAX),
                 },
             });
         }
@@ -86,7 +86,7 @@ fn main() {
     for (t, v) in metrics.read_throughput.buckets() {
         let hour = t.as_secs_f64() / 3600.0;
         let gb = v / 1e6;
-        let bar = "#".repeat((gb * 4.0) as usize);
+        let bar = "#".repeat(nashdb_core::num::saturating_usize(gb * 4.0));
         println!("  t={hour:4.1}h {gb:7.2} {bar}");
     }
     println!();

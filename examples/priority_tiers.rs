@@ -84,7 +84,11 @@ fn run(dashboard_price: f64) -> (Workload, Metrics) {
 fn tier_latency(w: &Workload, m: &Metrics, tier: u32) -> f64 {
     let (mut sum, mut n) = (0.0, 0u32);
     for q in &m.queries {
-        if w.queries[q.id.get() as usize].query.tag == tier {
+        if w.queries[nashdb_core::num::usize_from(q.id.get())]
+            .query
+            .tag
+            == tier
+        {
             sum += q.latency().as_secs_f64();
             n += 1;
         }

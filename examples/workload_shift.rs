@@ -22,7 +22,11 @@ fn main() {
     let mut nash = GreedyFragmenter::new(TABLE, MAX_FRAGS);
 
     // Three phases, each hammering a different 150k-tuple range.
-    let phases = [(100_000u64, "early keys"), (450_000, "mid keys"), (800_000, "recent keys")];
+    let phases = [
+        (100_000u64, "early keys"),
+        (450_000, "mid keys"),
+        (800_000, "recent keys"),
+    ];
     for (phase, (hot_start, label)) in phases.iter().enumerate() {
         for i in 0..60u64 {
             // 80% hot-range scans, 20% background full scans.
@@ -38,7 +42,11 @@ fn main() {
         let chunks = estimator.chunks(TABLE);
         let prefix = ChunkPrefix::new(&chunks);
         let frag = nash.fragmentation();
-        println!("phase {} — hot range at {label} ({hot_start}..{})", phase + 1, hot_start + 150_000);
+        println!(
+            "phase {} — hot range at {label} ({hot_start}..{})",
+            phase + 1,
+            hot_start + 150_000
+        );
         println!("  boundaries: {:?}", frag.boundaries());
         println!(
             "  fragments: {}   total error: {:.3e}",

@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of the [`criterion` 0.5](https://docs.rs/criterion)
+//! API this workspace's benches use.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a minimal timing harness with the same surface: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from real criterion, deliberately accepted: no statistical
+//! analysis, no warm-up calibration beyond a fixed burn-in, no HTML reports.
+//! Each benchmark runs a short timed loop and prints a median ns/iter line,
+//! which is enough to compare hot paths between commits by hand. Passing
+//! `--test` (as `cargo test` does for `harness = false` bench targets) runs
+//! every benchmark exactly once as a smoke test.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `algo/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) method times the
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke: bool,
+    reported_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing a median ns/iter estimate for the caller to
+    /// print. In smoke mode (`--test`), runs the routine exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            self.reported_ns = None;
+            return;
+        }
+        // Burn-in to fault in caches and let the routine reach steady state.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Run batches until we have a stable sample or hit the time budget.
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::new();
+        while started.elapsed() < budget && samples.len() < 50 {
+            let t = Instant::now();
+            black_box(routine());
+            #[allow(clippy::cast_precision_loss)]
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.reported_ns = samples.get(samples.len() / 2).copied();
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            smoke: self.criterion.smoke,
+            reported_ns: None,
+        };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        match b.reported_ns {
+            Some(ns) => println!("bench {label:<50} {ns:>14.0} ns/iter"),
+            None => println!("bench {label:<50} ok (smoke)"),
+        }
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    // `id` by value to match the real criterion signature callers compile
+    // against.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run_one(&id.name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under the given name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(&id.into(), f);
+        self
+    }
+
+    /// Ends the group. (No-op in the shim; present for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    /// Detects `--test` (passed by `cargo test` to `harness = false` bench
+    /// targets) and switches to run-once smoke mode in that case.
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group with the given name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name: String = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run_one(&name, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input, outside any group.
+    // `id` by value to match the real criterion signature callers compile
+    // against.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut group = self.benchmark_group(String::new());
+        group.run_one(&id.name, |b| f(b, input));
+        self
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1u8)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("algo", 64).name, "algo/64");
+        assert_eq!(BenchmarkId::from_parameter(9).name, "9");
+    }
+}

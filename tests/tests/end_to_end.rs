@@ -2,7 +2,9 @@
 //! simulated cluster, on every workload family.
 
 use nashdb::{run_workload, MaxOfMins, NashDbConfig, NashDbDistributor, RunConfig};
-use nashdb_baselines::{GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor};
+use nashdb_baselines::{
+    GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor,
+};
 use nashdb_cluster::ClusterConfig;
 use nashdb_core::economics::NodeSpec;
 use nashdb_core::routing::ScanRouter;
@@ -65,7 +67,11 @@ fn bernoulli_pipeline_completes_all_queries() {
     assert_eq!(m.queries.len(), 120);
     // At this arrival rate the suffix reads (a few GB at 0.5 GB/s-tuples)
     // must not queue indefinitely; a full-table scan would take 10 s.
-    assert!(m.mean_latency_secs() < 30.0, "latency {}", m.mean_latency_secs());
+    assert!(
+        m.mean_latency_secs() < 30.0,
+        "latency {}",
+        m.mean_latency_secs()
+    );
 }
 
 #[test]

@@ -39,8 +39,7 @@ fn greedy_pipeline_schemes_are_equilibria() {
         frag.run(&chunks, 64);
         let frag = nashdb_core::fragment::split_oversized(&frag.fragmentation(), spec().disk);
         let stats = fragment_stats(&frag, &chunks);
-        let scheme =
-            ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
+        let scheme = ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
         assert_eq!(
             check_equilibrium(&scheme.economic_config()),
             Ok(()),
@@ -75,11 +74,9 @@ fn equilibrium_holds_across_window_evolution() {
         }
         let chunks = est.chunks(TABLE);
         fragmenter.run(&chunks, 8);
-        let frag =
-            nashdb_core::fragment::split_oversized(&fragmenter.fragmentation(), spec().disk);
+        let frag = nashdb_core::fragment::split_oversized(&fragmenter.fragmentation(), spec().disk);
         let stats = fragment_stats(&frag, &chunks);
-        let scheme =
-            ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
+        let scheme = ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
         assert_eq!(
             check_equilibrium(&scheme.economic_config()),
             Ok(()),

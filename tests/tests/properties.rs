@@ -11,9 +11,7 @@ use nashdb_core::fragment::{
 };
 use nashdb_core::replication::{decide_replicas, pack_bffd, ReplicationPolicy};
 use nashdb_core::transition::{hungarian, plan_transition, IntervalSet, NodeMove};
-use nashdb_core::value::{
-    AvlValueTree, BTreeValueTree, Chunk, PricedScan, TupleValueEstimator,
-};
+use nashdb_core::value::{AvlValueTree, BTreeValueTree, Chunk, PricedScan, TupleValueEstimator};
 use nashdb_core::NodeSpec;
 
 // ---------------------------------------------------------------------------
@@ -23,9 +21,8 @@ use nashdb_core::NodeSpec;
 const TABLE: u64 = 10_000;
 
 fn arb_scan() -> impl Strategy<Value = PricedScan> {
-    (0..TABLE - 1, 1..TABLE / 2, 0.0f64..10.0).prop_map(|(start, len, price)| {
-        PricedScan::new(start, (start + len).min(TABLE), price)
-    })
+    (0..TABLE - 1, 1..TABLE / 2, 0.0f64..10.0)
+        .prop_map(|(start, len, price)| PricedScan::new(start, (start + len).min(TABLE), price))
 }
 
 proptest! {
@@ -178,7 +175,7 @@ proptest! {
                 prop_assert!(seen.insert(*f), "duplicate replica on node");
                 let d = decisions.iter().find(|d| d.id == *f).unwrap();
                 used += d.range.size();
-                placed[f.get() as usize] += 1;
+                placed[usize::try_from(f.get()).unwrap()] += 1;
             }
             prop_assert!(used <= disk);
         }
@@ -271,11 +268,11 @@ proptest! {
                 NodeMove::Reuse { old: o, new: n, transfer } => {
                     prop_assert!(old_seen.insert(o));
                     prop_assert!(new_seen.insert(n));
-                    prop_assert!(transfer <= new[n.get() as usize].len());
+                    prop_assert!(transfer <= new[usize::try_from(n.get()).unwrap()].len());
                 }
                 NodeMove::Provision { new: n, transfer } => {
                     prop_assert!(new_seen.insert(n));
-                    prop_assert_eq!(transfer, new[n.get() as usize].len());
+                    prop_assert_eq!(transfer, new[usize::try_from(n.get()).unwrap()].len());
                 }
                 NodeMove::Decommission { old: o } => {
                     prop_assert!(old_seen.insert(o));

@@ -2,12 +2,12 @@
 
 use proptest::prelude::*;
 
+use nashdb_baselines::{GreedySetCover, ShortestQueue};
+use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, QueryRequest, ScanRange};
 use nashdb_core::ids::{FragmentId, NodeId, TableId};
 use nashdb_core::routing::{
     Assignment, FragmentRequest, MaxOfMins, PowerOfTwoChoices, QueueView, ScanRouter,
 };
-use nashdb_baselines::{GreedySetCover, ShortestQueue};
-use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, QueryRequest, ScanRange};
 use nashdb_core::transition::{plan_transition, IntervalSet};
 use nashdb_sim::{SimDuration, SimTime};
 
@@ -59,7 +59,9 @@ fn check_router(router: &dyn ScanRouter, p: &Problem) -> Result<(), TestCaseErro
     }
     // Work is conserved: total queue growth equals total request size.
     let before: u64 = p.waits.iter().sum();
-    let after: u64 = (0..p.waits.len()).map(|n| queues.wait(NodeId(n as u64))).sum();
+    let after: u64 = (0..p.waits.len())
+        .map(|n| queues.wait(NodeId(n as u64)))
+        .sum();
     let work: u64 = p.requests.iter().map(|r| r.size).sum();
     prop_assert_eq!(after - before, work);
     Ok(())
@@ -157,12 +159,12 @@ proptest! {
                         .map(|&(n, t)| (NodeId(n as u64), t))
                         .collect();
                     idx += 1;
-                    sim.dispatch(id, &reads);
+                    sim.dispatch(id, &reads).unwrap();
                 }
                 DriverEvent::QueryCompleted { id, latency } => {
                     completed += 1;
                     // Latency at least the biggest read of that query.
-                    let q = &plan.queries[id.get() as usize];
+                    let q = &plan.queries[usize::try_from(id.get()).unwrap()];
                     let biggest = q.1.iter().map(|&(_, t)| t).max().unwrap();
                     let floor = biggest as f64 / tps;
                     prop_assert!(
@@ -187,5 +189,92 @@ proptest! {
         prop_assert!((metrics.read_throughput.total() - dispatched as f64).abs() < 0.5);
         prop_assert!(metrics.total_cost > 0.0);
         prop_assert_eq!(metrics.peak_nodes, plan.nodes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant audits, end to end (feature `invariant-audit`)
+// ---------------------------------------------------------------------------
+
+/// Drives the full NashDB pipeline with the audit hooks compiled in: every
+/// reconfiguration re-checks the value tree, fragmentation, packing, and
+/// transition invariants inside the driver/distributor, and the resulting
+/// schemes are additionally audited here at the economics layer.
+#[cfg(feature = "invariant-audit")]
+mod audit_system {
+    use super::*;
+    use nashdb::{run_workload, MaxOfMins, NashDbConfig, NashDbDistributor, RunConfig};
+    use nashdb_core::audit::{audit_equilibrium, audit_packing, audit_transition};
+    use nashdb_core::economics::NodeSpec;
+    use nashdb_core::fragment::{fragment_stats, optimal_fragmentation};
+    use nashdb_core::replication::{ClusterScheme, ReplicationPolicy};
+    use nashdb_core::value::{Chunk, TupleValueEstimator};
+    use nashdb_workload::bernoulli::{workload as bernoulli, BernoulliConfig};
+
+    proptest! {
+        /// Whole runs complete with every driver/distributor audit hook
+        /// armed: any invariant breach inside the pipeline would abort the
+        /// run, so completion is the assertion.
+        #[test]
+        fn audited_runs_complete(queries in 20usize..60, price in 1.0f64..8.0) {
+            let w = bernoulli(&BernoulliConfig {
+                size_gb: 2,
+                queries,
+                price,
+                ..BernoulliConfig::default()
+            });
+            let run = RunConfig {
+                cluster: ClusterConfig {
+                    throughput_tps: 1_000_000.0,
+                    node_cost_per_hour: 100.0,
+                    metrics_bucket: SimDuration::from_secs(600),
+                },
+                ..RunConfig::default()
+            };
+            let cfg = NashDbConfig {
+                spec: NodeSpec::new(100.0, 1_000_000),
+                max_frags_per_table: 12,
+                ..NashDbConfig::default()
+            };
+            let mut nash = NashDbDistributor::new(&w.db, cfg);
+            let m = run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run);
+            prop_assert_eq!(m.queries.len(), queries);
+        }
+
+        /// Schemes built from estimator-derived statistics pass the packing
+        /// and equilibrium audits, and transitions between the schemes of
+        /// two different workloads pass the transition audit.
+        #[test]
+        fn estimated_schemes_audit_clean(
+            scans in proptest::collection::vec((0u64..900, 1u64..100, 0.5f64..4.0), 4..40),
+            shift in 0u64..500,
+        ) {
+            let table = 1_000u64;
+            let build = |offset: u64| {
+                let mut est = TupleValueEstimator::new(16);
+                for &(s, l, p) in &scans {
+                    let start = (s + offset) % (table - 1);
+                    let end = (start + l).min(table);
+                    est.observe(nashdb_core::value::PricedScan::new(start, end, p));
+                }
+                let chunks: Vec<Chunk> = est.chunks(table);
+                let frag = optimal_fragmentation(&chunks, 5);
+                let stats = fragment_stats(&frag, &chunks);
+                let policy = ReplicationPolicy::new(16, NodeSpec::new(500.0, table));
+                ClusterScheme::build(&stats, policy).expect("fragments fit one node")
+            };
+            let a = build(0);
+            let b = build(shift);
+            for s in [&a, &b] {
+                prop_assert!(
+                    audit_packing(&s.nodes, &s.decisions, s.policy.spec.disk).is_ok()
+                );
+                prop_assert!(audit_equilibrium(&s.economic_config()).is_ok());
+            }
+            let old = nashdb_core::transition::scheme_intervals(&a);
+            let new = nashdb_core::transition::scheme_intervals(&b);
+            let plan = nashdb_core::transition::plan_transition(&old, &new);
+            prop_assert!(audit_transition(&old, &new, &plan).is_ok());
+        }
     }
 }
