@@ -1,0 +1,167 @@
+//! `nashdb-bench` — CI bench utilities: a deterministic observability smoke
+//! run and a snapshot validator.
+//!
+//! ```text
+//! nashdb-bench smoke --seed 42 --obs-out BENCH_PR.json
+//! nashdb-bench smoke --stable        # scrub wall-clock for byte-stable output
+//! nashdb-bench validate BENCH_PR.json
+//! ```
+//!
+//! Exit codes: 0 success, 1 validation/coverage failure, 2 usage error.
+
+use std::process::exit;
+
+use nashdb_bench::smoke::{run_smoke, SmokeConfig, REQUIRED_STAGES};
+use nashdb_obs::ObsSnapshot;
+
+const HELP: &str = "\
+nashdb-bench — observability smoke run and snapshot validation
+
+USAGE:
+  nashdb-bench smoke [OPTIONS]     run the fixed-seed smoke workload and
+                                   emit its observability snapshot
+  nashdb-bench validate FILE       parse and schema-check a snapshot file
+
+SMOKE OPTIONS:
+  --seed N          workload RNG seed (default 42)
+  --queries N       query count (default 150)
+  --size-gb N       database size in GB-equivalents (default 4)
+  --obs-out FILE    write the JSON snapshot here (default: stdout)
+  --stable          scrub wall-clock timings so same-seed runs are
+                    byte-identical (sim-time metrics are kept)
+  -h, --help        this text
+";
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            self.0.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Option<String> {
+        let i = self.0.iter().position(|a| a == name)?;
+        if i + 1 >= self.0.len() {
+            die(&format!("{name} requires a value"));
+        }
+        let v = self.0.remove(i + 1);
+        self.0.remove(i);
+        Some(v)
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, name: &str) -> Option<T> {
+        self.value(name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                die(&format!("invalid value {v:?} for {name}"));
+            })
+        })
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nrun with --help for usage");
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    exit(1)
+}
+
+fn main() {
+    let mut args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        print!("{HELP}");
+        return;
+    }
+    if args.0.is_empty() {
+        die("need a subcommand: smoke | validate");
+    }
+    match args.0.remove(0).as_str() {
+        "smoke" => smoke(args),
+        "validate" => validate(args),
+        other => die(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn smoke(mut args: Args) {
+    let cfg = SmokeConfig {
+        seed: args.parse("--seed").unwrap_or(42),
+        queries: args.parse("--queries").unwrap_or(150),
+        size_gb: args.parse("--size-gb").unwrap_or(4),
+        stable: args.flag("--stable"),
+    };
+    let out = args.value("--obs-out");
+    if !args.0.is_empty() {
+        die(&format!("unrecognized arguments: {:?}", args.0));
+    }
+
+    let snap = run_smoke(&cfg);
+
+    // Stage coverage: every pipeline stage must have emitted something.
+    let missing = snap.missing_stages(REQUIRED_STAGES);
+    if !missing.is_empty() {
+        fail(&format!("pipeline stages emitted no metrics: {missing:?}"));
+    }
+
+    // The serialized form must round-trip through the schema validator and
+    // re-serialize byte-identically (no float formatting drift).
+    let json = snap.to_json_string();
+    match ObsSnapshot::from_json_str(&json) {
+        Ok(parsed) if parsed.to_json_string() == json => {}
+        Ok(_) => fail("snapshot did not round-trip byte-identically"),
+        Err(e) => fail(&format!("snapshot failed its own schema: {e}")),
+    }
+
+    eprintln!(
+        "smoke ok: seed {} — {} counters, {} gauges, {} histograms, {} spans",
+        cfg.seed,
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+        snap.spans.len()
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                fail(&format!("writing {path}: {e}"));
+            }
+            eprintln!("snapshot written to {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn validate(mut args: Args) {
+    if args.0.len() != 1 {
+        die("validate takes exactly one FILE argument");
+    }
+    let path = args.0.remove(0);
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => fail(&format!("reading {path}: {e}")),
+    };
+    let snap = match ObsSnapshot::from_json_str(&raw) {
+        Ok(snap) => snap,
+        Err(e) => fail(&format!("{path}: {e}")),
+    };
+    let missing = snap.missing_stages(REQUIRED_STAGES);
+    if !missing.is_empty() {
+        fail(&format!(
+            "{path}: pipeline stages emitted no metrics: {missing:?}"
+        ));
+    }
+    println!(
+        "{path}: valid snapshot (version {}) — {} counters, {} gauges, {} histograms, {} spans",
+        snap.version,
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+        snap.spans.len()
+    );
+}

@@ -1,0 +1,143 @@
+//! Deterministic observability smoke run for CI.
+//!
+//! Runs a small fixed-seed Bernoulli workload through the full NashDB
+//! pipeline under an [`ObsSession`] and returns the captured
+//! [`ObsSnapshot`]. CI serializes the snapshot to `BENCH_PR.json`,
+//! validates it round-trips through the schema, and fails the build if any
+//! pipeline stage stopped emitting metrics (see [`REQUIRED_STAGES`]).
+
+use nashdb::{run_workload, NashDbConfig, NashDbDistributor, RunConfig};
+use nashdb_cluster::ClusterConfig;
+use nashdb_core::economics::NodeSpec;
+use nashdb_core::routing::MaxOfMins;
+use nashdb_obs::{ObsSession, ObsSnapshot};
+use nashdb_sim::SimDuration;
+use nashdb_workload::bernoulli::{workload as bernoulli, BernoulliConfig};
+
+/// Metric-name prefixes that every healthy smoke run must populate — one
+/// per pipeline stage. [`ObsSnapshot::missing_stages`] reports the gaps.
+pub const REQUIRED_STAGES: &[&str] = &[
+    "value_tree.",
+    "fragment.",
+    "replication.",
+    "packing.",
+    "transition.",
+    "routing.",
+    "cluster.",
+];
+
+/// Smoke-run parameters. The defaults are what CI runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokeConfig {
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Query count.
+    pub queries: usize,
+    /// Database size in GB-equivalents (millions of tuples).
+    pub size_gb: u64,
+    /// Scrub wall-clock timings from the snapshot
+    /// ([`ObsSnapshot::scrub_timings`]) so same-seed runs serialize
+    /// byte-identically.
+    pub stable: bool,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> Self {
+        SmokeConfig {
+            seed: 42,
+            queries: 150,
+            size_gb: 4,
+            stable: false,
+        }
+    }
+}
+
+/// Runs the smoke workload and captures its observability snapshot.
+///
+/// Everything that feeds the snapshot's counters, gauges, and non-timing
+/// histograms is simulation state, so two runs with the same config produce
+/// identical values; with [`SmokeConfig::stable`] set the wall-clock
+/// timings are scrubbed too and the whole snapshot is byte-reproducible.
+pub fn run_smoke(cfg: &SmokeConfig) -> ObsSnapshot {
+    let w = bernoulli(&BernoulliConfig {
+        size_gb: cfg.size_gb,
+        queries: cfg.queries,
+        seed: cfg.seed,
+        // Spread arrivals past several reconfiguration intervals, and price
+        // queries high enough that replication buys real replicas.
+        spacing: SimDuration::from_secs(10),
+        price: 8.0,
+    });
+    let run = RunConfig {
+        cluster: ClusterConfig {
+            throughput_tps: 1_000_000.0,
+            node_cost_per_hour: 100.0,
+            metrics_bucket: SimDuration::from_secs(600),
+        },
+        // Short interval so the run exercises reconfiguration transitions,
+        // not just the initial provision.
+        reconfig_interval: SimDuration::from_secs(300),
+        ..RunConfig::default()
+    };
+    let nash = NashDbConfig {
+        spec: NodeSpec::new(100.0, 2_000_000),
+        max_frags_per_table: 16,
+        ..NashDbConfig::default()
+    };
+
+    let mut session = ObsSession::start();
+    session.label("workload", "bernoulli");
+    session.label("seed", &cfg.seed.to_string());
+    session.label("queries", &cfg.queries.to_string());
+
+    let mut dist = NashDbDistributor::new(&w.db, nash);
+    let router = MaxOfMins::new(run.phi_tuples());
+    let metrics = run_workload(&w, &mut dist, &router, &run);
+    session.label("completed", &metrics.queries.len().to_string());
+
+    let mut snap = session.finish();
+    if cfg.stable {
+        snap.scrub_timings();
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SmokeConfig {
+        SmokeConfig {
+            queries: 60,
+            size_gb: 2,
+            ..SmokeConfig::default()
+        }
+    }
+
+    #[test]
+    fn smoke_covers_every_stage() {
+        let snap = run_smoke(&quick());
+        let missing = snap.missing_stages(REQUIRED_STAGES);
+        assert!(missing.is_empty(), "stages without metrics: {missing:?}");
+        // The driver's span hierarchy is present and nested.
+        assert!(snap.span("pipeline").is_some());
+        assert!(snap.span("pipeline/query").is_some());
+        assert!(snap.span("pipeline/provision/scheme/fragment").is_some());
+        // The run is long enough to exercise periodic reconfiguration.
+        assert!(snap.span("pipeline/reconfigure/scheme").is_some());
+    }
+
+    #[test]
+    fn stable_runs_serialize_byte_identically() {
+        let cfg = SmokeConfig {
+            stable: true,
+            ..quick()
+        };
+        let a = run_smoke(&cfg).to_json_string();
+        let b = run_smoke(&cfg).to_json_string();
+        assert_eq!(a, b);
+        // And the stable form still round-trips through the parser.
+        let parsed = ObsSnapshot::from_json_str(&a).unwrap();
+        assert_eq!(parsed.to_json_string(), a);
+    }
+}

@@ -303,6 +303,7 @@ impl ClusterSim {
             );
         }
         self.running.insert(id, state);
+        nashdb_obs::counter_add("cluster.reads_dispatched", reads.len() as u64);
         Ok(())
     }
 
@@ -385,6 +386,9 @@ impl ClusterSim {
         self.metrics.peak_nodes = self.metrics.peak_nodes.max(self.logical.len());
         self.metrics.reconfigurations += 1;
         self.metrics.transfers.push((now, total_transfer));
+        nashdb_obs::counter_add("cluster.reconfigurations", 1);
+        nashdb_obs::counter_add("cluster.transfer_tuples", total_transfer);
+        nashdb_obs::gauge_set("cluster.nodes", self.logical.len() as f64);
     }
 
     /// Advances the simulation to the next driver-relevant event.
@@ -483,6 +487,11 @@ impl ClusterSim {
             span: u32::try_from(state.nodes.len()).unwrap_or(u32::MAX),
         };
         self.metrics.queries.push(record);
+        // Latency is simulated time, so this histogram is deterministic per
+        // seed (unlike the wall-clock `*_ns` stage timings).
+        nashdb_obs::counter_add("cluster.queries_completed", 1);
+        nashdb_obs::record("cluster.query_latency_ns", record.latency().as_nanos());
+        nashdb_obs::record("cluster.query_span", u64::from(record.span));
         DriverEvent::QueryCompleted {
             id,
             latency: record.latency(),
@@ -503,10 +512,16 @@ impl ClusterSim {
         self.metrics.total_cost += hours * self.cfg.node_cost_per_hour;
         node.retired_at = Some(until);
         node.retired = true;
-        self.metrics.node_utilization.push(
-            (node.busy.as_secs_f64() / until.since(node.provisioned_at).as_secs_f64().max(1e-12))
-                .min(1.0),
+        let utilization = (node.busy.as_secs_f64()
+            / until.since(node.provisioned_at).as_secs_f64().max(1e-12))
+        .min(1.0);
+        self.metrics.node_utilization.push(utilization);
+        // Parts-per-million so the busy fraction fits an integer histogram.
+        nashdb_obs::record(
+            "cluster.node_utilization_ppm",
+            nashdb_core::num::saturating_u64(utilization * 1e6),
         );
+        nashdb_obs::gauge_set("cluster.total_cost", self.metrics.total_cost);
     }
 }
 

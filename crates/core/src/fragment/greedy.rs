@@ -212,6 +212,7 @@ impl GreedyFragmenter {
     /// Runs up to `rounds` steps, stopping early once stable. Returns the
     /// number of rounds that changed the fragmentation.
     pub fn run(&mut self, chunks: &[Chunk], rounds: usize) -> usize {
+        let watch = crate::obs_hooks::stopwatch();
         let mut changed = 0;
         for _ in 0..rounds {
             match self.step(chunks) {
@@ -219,6 +220,9 @@ impl GreedyFragmenter {
                 StepOutcome::Stable => break,
             }
         }
+        watch.record("fragment.greedy_ns");
+        crate::obs_hooks::counter_add("fragment.greedy_runs", 1);
+        crate::obs_hooks::counter_add("fragment.greedy_changes", changed as u64);
         changed
     }
 

@@ -25,6 +25,9 @@ use crate::value::Chunk;
 #[allow(clippy::needless_range_loop)] // index arithmetic *is* the DP
 pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentation {
     assert!(max_frags > 0, "need at least one fragment");
+    let watch = crate::obs_hooks::stopwatch();
+    crate::obs_hooks::counter_add("fragment.optimal_runs", 1);
+    crate::obs_hooks::record("fragment.optimal_chunks", chunks.len() as u64);
     let prefix = ChunkPrefix::new(chunks);
     let bounds = prefix.bounds();
     let m = prefix.num_chunks();
@@ -32,6 +35,7 @@ pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentatio
 
     if k == m {
         // One fragment per chunk: zero error, no DP needed.
+        watch.record("fragment.optimal_ns");
         return Fragmentation::from_boundaries(bounds.to_vec());
     }
 
@@ -77,6 +81,7 @@ pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentatio
     cuts.push(0);
     cuts.reverse();
     let boundaries: Vec<u64> = cuts.into_iter().map(|c| bounds[c]).collect();
+    watch.record("fragment.optimal_ns");
     Fragmentation::from_boundaries(boundaries)
 }
 

@@ -1,0 +1,38 @@
+//! Internal indirection over the optional `nashdb-obs` dependency.
+//!
+//! Algorithm code instruments itself unconditionally through these
+//! re-exports; with the `obs` feature disabled they resolve to inlined
+//! no-ops, so the hot paths carry zero observability cost and the crate
+//! keeps its no-external-dependency builds (`--no-default-features`).
+
+#[cfg(feature = "obs")]
+pub(crate) use nashdb_obs::{counter_add, gauge_set, record, stopwatch};
+
+#[cfg(not(feature = "obs"))]
+pub(crate) use noop::{counter_add, gauge_set, record, stopwatch};
+
+#[cfg(not(feature = "obs"))]
+mod noop {
+    //! Signature-compatible no-op stand-ins for the `nashdb-obs` API.
+
+    pub(crate) struct Stopwatch;
+
+    #[inline]
+    pub(crate) fn counter_add(_name: &str, _delta: u64) {}
+
+    #[inline]
+    pub(crate) fn gauge_set(_name: &str, _value: f64) {}
+
+    #[inline]
+    pub(crate) fn record(_name: &str, _value: u64) {}
+
+    #[inline]
+    pub(crate) fn stopwatch() -> Stopwatch {
+        Stopwatch
+    }
+
+    impl Stopwatch {
+        #[inline]
+        pub(crate) fn record(self, _name: &str) {}
+    }
+}

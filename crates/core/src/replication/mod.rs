@@ -92,7 +92,7 @@ pub fn decide_replicas(
     stats: &[FragmentStats],
     policy: &ReplicationPolicy,
 ) -> Vec<ReplicationDecision> {
-    stats
+    let decisions: Vec<ReplicationDecision> = stats
         .iter()
         .map(|s| {
             let ideal = ideal_replicas(policy.window, s.value, s.range.size(), &policy.spec);
@@ -105,7 +105,34 @@ pub fn decide_replicas(
                 forced: ideal == 0,
             }
         })
-        .collect()
+        .collect();
+    // Aggregate equilibrium economics: total surplus of the economically
+    // motivated (non-forced) replicas. At the exact Eq. 9 counts this is the
+    // residual profit the floor leaves on the table — a drift indicator.
+    let mut surplus = 0.0f64;
+    let mut total_replicas = 0u64;
+    let mut forced = 0u64;
+    for d in &decisions {
+        crate::obs_hooks::record("replication.replicas_per_fragment", d.replicas);
+        total_replicas += d.replicas;
+        if d.forced {
+            forced += 1;
+        } else {
+            surplus += d.replicas as f64
+                * replica_profit(
+                    policy.window,
+                    d.value,
+                    d.replicas,
+                    d.range.size(),
+                    &policy.spec,
+                );
+        }
+    }
+    crate::obs_hooks::counter_add("replication.decisions", decisions.len() as u64);
+    crate::obs_hooks::counter_add("replication.replicas_total", total_replicas);
+    crate::obs_hooks::counter_add("replication.forced_singles", forced);
+    crate::obs_hooks::gauge_set("replication.nash_surplus", surplus);
+    decisions
 }
 
 /// Why packing failed.
@@ -253,6 +280,7 @@ pub fn pack_bffd(
     decisions: &[ReplicationDecision],
     disk: u64,
 ) -> Result<Vec<Vec<FragmentId>>, PackError> {
+    let watch = crate::obs_hooks::stopwatch();
     let mut order: Vec<&ReplicationDecision> = decisions.iter().collect();
     // Decreasing replica count, then a deterministic hash of the fragment's
     // *position*. The hash order matters twice over: (1) physically
@@ -302,6 +330,15 @@ pub fn pack_bffd(
                 }
             }
         }
+    }
+    watch.record("packing.bffd_ns");
+    crate::obs_hooks::counter_add(
+        "packing.placements",
+        nodes.iter().map(|f| f.len() as u64).sum(),
+    );
+    crate::obs_hooks::gauge_set("packing.nodes", nodes.len() as f64);
+    for used in free.iter().map(|f| disk - f) {
+        crate::obs_hooks::record("packing.node_fill_tuples", used);
     }
     Ok(nodes)
 }

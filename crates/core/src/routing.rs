@@ -101,6 +101,13 @@ pub fn span(assignments: &[Assignment]) -> usize {
         .len()
 }
 
+/// Shared per-scan instrumentation for every router implementation.
+fn record_scan_metrics(assignments: &[Assignment]) {
+    crate::obs_hooks::counter_add("routing.scans_routed", 1);
+    crate::obs_hooks::counter_add("routing.requests", assignments.len() as u64);
+    crate::obs_hooks::record("routing.query_span", span(assignments) as u64);
+}
+
 /// The paper's Max-of-mins router (Eq. 11).
 #[derive(Debug, Clone, Copy)]
 pub struct MaxOfMins {
@@ -161,6 +168,7 @@ impl ScanRouter for MaxOfMins {
                 unreachable!("the loop guard keeps `remaining` nonempty")
             };
             let req = remaining.swap_remove(idx);
+            crate::obs_hooks::record("routing.queue_wait_tuples", queues.wait(node));
             queues.enqueue(node, req.size);
             chosen.insert(node);
             out.push(Assignment {
@@ -168,6 +176,7 @@ impl ScanRouter for MaxOfMins {
                 node,
             });
         }
+        record_scan_metrics(&out);
         out
     }
 
@@ -216,7 +225,7 @@ impl PowerOfTwoChoices {
 impl ScanRouter for PowerOfTwoChoices {
     fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
         let mut chosen: HashSet<NodeId> = HashSet::new();
-        requests
+        let out: Vec<Assignment> = requests
             .iter()
             .map(|req| {
                 assert!(
@@ -240,6 +249,7 @@ impl ScanRouter for PowerOfTwoChoices {
                 }) else {
                     unreachable!("a two-element pair always has a minimum")
                 };
+                crate::obs_hooks::record("routing.queue_wait_tuples", queues.wait(node));
                 queues.enqueue(node, req.size);
                 chosen.insert(node);
                 Assignment {
@@ -247,7 +257,9 @@ impl ScanRouter for PowerOfTwoChoices {
                     node,
                 }
             })
-            .collect()
+            .collect();
+        record_scan_metrics(&out);
+        out
     }
 
     fn name(&self) -> &'static str {

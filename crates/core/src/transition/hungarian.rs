@@ -12,6 +12,7 @@
 /// # Panics
 /// Panics if the matrix is not square and nonempty.
 pub fn hungarian(cost: &[Vec<u64>]) -> (Vec<usize>, u64) {
+    let watch = crate::obs_hooks::stopwatch();
     let n = cost.len();
     assert!(n > 0, "empty cost matrix");
     for row in cost {
@@ -85,6 +86,7 @@ pub fn hungarian(cost: &[Vec<u64>]) -> (Vec<usize>, u64) {
         .enumerate()
         .map(|(r, &c)| cost[r][c])
         .sum();
+    watch.record("transition.hungarian_ns");
     (assignment, total)
 }
 

@@ -294,6 +294,16 @@ impl NashDbDistributor {
 
         // 6. Drop empty nodes and emit global indices.
         self.placement.retain(|node| !node.is_empty());
+        // The incremental packer stands in for `pack_bffd` here, so it
+        // reports the same packing metrics the from-scratch packer would.
+        nashdb_obs::gauge_set("packing.nodes", self.placement.len() as f64);
+        nashdb_obs::counter_add(
+            "packing.placements",
+            self.placement.iter().map(|node| node.len() as u64).sum(),
+        );
+        for node in &self.placement {
+            nashdb_obs::record("packing.node_fill_tuples", node.iter().map(size_of).sum());
+        }
         self.placement
             .iter()
             .map(|node| node.iter().map(|k| index[k]).collect())
@@ -352,15 +362,20 @@ impl Distributor for NashDbDistributor {
     }
 
     fn scheme(&mut self) -> DistScheme {
+        let _scheme = nashdb_obs::span("scheme");
         let policy = ReplicationPolicy::new(self.cfg.window, self.cfg.spec)
             .with_max_replicas(self.cfg.max_replicas);
 
         // Per table: value chunks -> fragmentation -> disk-fit split ->
         // fragment statistics, re-identified globally.
+        let fragment_span = nashdb_obs::span("fragment");
         let mut globals: Vec<GlobalFragment> = Vec::new();
         let mut stats: Vec<FragmentStats> = Vec::new();
         for (t_idx, t) in self.tables.iter_mut().enumerate() {
-            let chunks = t.estimator.chunks(t.tuples);
+            let chunks = {
+                let _chunks = nashdb_obs::span("value_chunks");
+                t.estimator.chunks(t.tuples)
+            };
             let rounds = if self.converged {
                 self.cfg.greedy_rounds
             } else {
@@ -406,9 +421,11 @@ impl Distributor for NashDbDistributor {
         }
 
         self.converged = true;
+        drop(fragment_span);
 
         // Eq. 9 replica counts, damped by hysteresis against the previous
         // scheme.
+        let replication_span = nashdb_obs::span("replication");
         let mut decisions = decide_replicas(&stats, &policy);
         for d in &mut decisions {
             let key = (globals[usize_from(d.id.get())].table, d.range);
@@ -427,8 +444,14 @@ impl Distributor for NashDbDistributor {
             .iter()
             .map(|d| ((globals[usize_from(d.id.get())].table, d.range), d.replicas))
             .collect();
+        drop(replication_span);
 
-        let nodes = self.place(&globals, &decisions);
+        let nodes = {
+            let _place = nashdb_obs::span("place");
+            self.place(&globals, &decisions)
+        };
+        nashdb_obs::gauge_set("distributor.fragments", globals.len() as f64);
+        nashdb_obs::gauge_set("distributor.nodes", nodes.len() as f64);
         #[cfg(feature = "invariant-audit")]
         {
             let as_frags: Vec<Vec<FragmentId>> = nodes

@@ -60,6 +60,10 @@ pub fn run_workload(
     router: &dyn ScanRouter,
     cfg: &RunConfig,
 ) -> Metrics {
+    // Everything below runs under one root span; provisioning, per-query
+    // routing, and periodic reconfiguration each get a nested child so an
+    // active `ObsSession` sees where driver wall-clock goes.
+    let _pipeline = nashdb_obs::span("pipeline");
     let mut sim = ClusterSim::new(cfg.cluster);
     for tq in &workload.queries {
         sim.schedule_query(tq.at, tq.query.clone());
@@ -74,29 +78,37 @@ pub fn run_workload(
     }
 
     // Optional warmup, then provision the initial scheme.
-    for tq in workload.queries.iter().take(cfg.warmup_queries) {
-        distributor.observe(&tq.query);
-    }
-    let mut scheme = distributor.scheme();
-    let mut intervals = scheme.node_intervals(&workload.db);
-    let initial_plan = plan_transition(&[], &intervals);
-    #[cfg(feature = "invariant-audit")]
-    {
-        let audit = nashdb_core::audit::audit_transition(&[], &intervals, &initial_plan);
-        assert!(audit.is_ok(), "initial provision failed audit: {audit:?}");
-    }
-    sim.reconfigure(&initial_plan);
+    let (mut scheme, mut intervals) = {
+        let _provision = nashdb_obs::span("provision");
+        for tq in workload.queries.iter().take(cfg.warmup_queries) {
+            distributor.observe(&tq.query);
+        }
+        let scheme = distributor.scheme();
+        let intervals = scheme.node_intervals(&workload.db);
+        let initial_plan = plan_transition(&[], &intervals);
+        #[cfg(feature = "invariant-audit")]
+        {
+            let audit = nashdb_core::audit::audit_transition(&[], &intervals, &initial_plan);
+            assert!(audit.is_ok(), "initial provision failed audit: {audit:?}");
+        }
+        sim.reconfigure(&initial_plan);
+        (scheme, intervals)
+    };
 
     let phi = cfg.phi_tuples();
     loop {
         match sim.next_event() {
             DriverEvent::QueryArrived { id, query } => {
+                let _query = nashdb_obs::span("query");
                 distributor.observe(&query);
                 let requests = scheme.requests_for_query(&query);
                 let sizes: std::collections::HashMap<_, _> =
                     requests.iter().map(|r| (r.fragment, r.size)).collect();
                 let mut queues = QueueView::from_waits(sim.queue_waits());
-                let assignments = router.route(&requests, &mut queues);
+                let assignments = {
+                    let _route = nashdb_obs::span("route");
+                    router.route(&requests, &mut queues)
+                };
                 let reads: Vec<(NodeId, u64)> = assignments
                     .iter()
                     .filter_map(|a| sizes.get(&a.fragment).map(|&s| (a.node, s)))
@@ -113,6 +125,7 @@ pub fn run_workload(
                 );
             }
             DriverEvent::Wakeup { .. } => {
+                let _reconfigure = nashdb_obs::span("reconfigure");
                 let new_scheme = distributor.scheme();
                 let new_intervals = new_scheme.node_intervals(&workload.db);
                 let plan = plan_transition(&intervals, &new_intervals);

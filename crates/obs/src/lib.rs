@@ -1,0 +1,363 @@
+//! Dependency-free observability for the NashDB reproduction.
+//!
+//! The pipeline (value estimation → fragmentation → replication/packing →
+//! transition → routing → cluster simulation) records into a thread-local
+//! [`ObsSession`]: counters, gauges, log-bucketed [`Histogram`]s, and
+//! nestable stage [`span`]s measuring wall-clock per phase. When no session
+//! is active every recording call is a cheap no-op — a thread-local read
+//! and a branch — so library code can instrument unconditionally without
+//! imposing overhead on callers that never asked for metrics.
+//!
+//! A finished session exports an [`ObsSnapshot`]: a versioned, schema-
+//! validated, byte-deterministic JSON document that `nashdb-bench smoke`
+//! writes and CI uploads as the per-PR benchmarking artifact.
+//!
+//! ```
+//! use nashdb_obs as obs;
+//!
+//! let session = obs::ObsSession::start();
+//! {
+//!     let _pipeline = obs::span("pipeline");
+//!     obs::counter_add("value_tree.inserts", 3);
+//!     obs::record("routing.queue_wait_tuples", 17);
+//! }
+//! let snapshot = session.finish();
+//! assert_eq!(snapshot.counter("value_tree.inserts"), Some(3));
+//! assert_eq!(snapshot.span("pipeline").map(|s| s.count), Some(1));
+//! ```
+
+mod histogram;
+mod json;
+mod registry;
+mod snapshot;
+
+pub use histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+pub use json::{parse as parse_json, JsonError, JsonValue};
+pub use registry::{MetricsRegistry, SpanStat};
+pub use snapshot::{HistogramSnapshot, ObsSnapshot, SnapshotError, SpanSnapshot, SNAPSHOT_VERSION};
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One open span on the stack: its full path and how much time its direct
+/// children have consumed so far.
+#[derive(Debug)]
+struct Frame {
+    path: String,
+    child_ns: u64,
+}
+
+/// The thread's live collection state while a session is active.
+#[derive(Debug)]
+struct ActiveSession {
+    registry: MetricsRegistry,
+    stack: Vec<Frame>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveSession>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against the live session, or returns `default` when inactive.
+fn with_active<T>(default: T, f: impl FnOnce(&mut ActiveSession) -> T) -> T {
+    ACTIVE.with(|cell| match cell.borrow_mut().as_mut() {
+        Some(active) => f(active),
+        None => default,
+    })
+}
+
+/// A recording session bound to the current thread.
+///
+/// Starting a session arms every instrumentation call on this thread;
+/// [`finish`](ObsSession::finish) disarms them and returns the collected
+/// [`ObsSnapshot`]. Sessions nest: starting a new one shelves the previous
+/// registry and finishing restores it, so a test can observe a narrow
+/// region even while an outer session is live. Dropping a session without
+/// finishing discards its data and restores the shelved one.
+#[must_use = "dropping an unfinished session discards its metrics"]
+#[derive(Debug)]
+pub struct ObsSession {
+    previous: Option<ActiveSession>,
+    labels: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl ObsSession {
+    /// Begins collecting on the current thread.
+    pub fn start() -> Self {
+        let previous = ACTIVE.with(|cell| {
+            cell.borrow_mut().replace(ActiveSession {
+                registry: MetricsRegistry::new(),
+                stack: Vec::new(),
+            })
+        });
+        ObsSession {
+            previous,
+            labels: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Attaches a run-metadata label (workload name, seed, …) that will be
+    /// embedded in the snapshot.
+    pub fn label(&mut self, key: &str, value: &str) {
+        self.labels.push((key.to_owned(), value.to_owned()));
+    }
+
+    /// Stops collecting and returns everything recorded since
+    /// [`start`](ObsSession::start). Spans still open at this point are
+    /// not included — close (drop) their guards first.
+    pub fn finish(mut self) -> ObsSnapshot {
+        self.finished = true;
+        let collected = ACTIVE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let collected = slot.take();
+            *slot = self.previous.take();
+            collected
+        });
+        let registry = collected.map(|a| a.registry).unwrap_or_default();
+        ObsSnapshot::capture(&registry, std::mem::take(&mut self.labels))
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                slot.take();
+                *slot = self.previous.take();
+            });
+        }
+    }
+}
+
+/// Adds `delta` to a counter. No-op without an active session.
+pub fn counter_add(name: &str, delta: u64) {
+    with_active((), |a| a.registry.counter_add(name, delta));
+}
+
+/// Sets a gauge to its latest value (non-finite values are ignored).
+/// No-op without an active session.
+pub fn gauge_set(name: &str, value: f64) {
+    with_active((), |a| a.registry.gauge_set(name, value));
+}
+
+/// Records one sample into a histogram. No-op without an active session.
+pub fn record(name: &str, value: u64) {
+    with_active((), |a| a.registry.record(name, value));
+}
+
+/// Records a [`std::time::Duration`] in nanoseconds (saturating at
+/// `u64::MAX`). No-op without an active session.
+pub fn record_duration(name: &str, elapsed: std::time::Duration) {
+    record(name, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// True iff an observability session is live on this thread. Lets callers
+/// skip expensive metric *computation* (not just recording).
+pub fn is_active() -> bool {
+    ACTIVE.with(|cell| cell.borrow().is_some())
+}
+
+/// Opens a nested wall-clock span. The span closes when the returned guard
+/// drops, accumulating its elapsed time under a slash-joined path of every
+/// open span (`pipeline/reconfigure/scheme`). Returns an inert guard when
+/// no session is active.
+pub fn span(name: &str) -> SpanGuard {
+    let armed = with_active(false, |a| {
+        let path = match a.stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_owned(),
+        };
+        a.stack.push(Frame { path, child_ns: 0 });
+        true
+    });
+    SpanGuard {
+        started: armed.then(Instant::now),
+    }
+}
+
+/// Guard for an open [`span`]; closing (dropping) it records the elapsed
+/// wall-clock time.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `Some` iff a session was active when the span opened.
+    started: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.started else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        with_active((), |a| {
+            let Some(frame) = a.stack.pop() else {
+                // A fresh session started inside the span; nothing to record.
+                return;
+            };
+            a.registry.span_add(&frame.path, elapsed_ns, frame.child_ns);
+            if let Some(parent) = a.stack.last_mut() {
+                parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+            }
+        });
+    }
+}
+
+/// Starts a wall-clock stopwatch for one-shot duration histograms. Unlike
+/// [`span`], a stopwatch does not participate in the span hierarchy — it
+/// records into a plain `*_ns` histogram via
+/// [`record`](Stopwatch::record).
+pub fn stopwatch() -> Stopwatch {
+    Stopwatch {
+        started: is_active().then(Instant::now),
+    }
+}
+
+/// A running [`stopwatch`]; consume it with [`record`](Stopwatch::record).
+#[must_use = "a stopwatch records nothing until `record` is called"]
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Records the elapsed nanoseconds into the named histogram. No-op if
+    /// no session was active when the stopwatch started.
+    pub fn record(self, name: &str) {
+        if let Some(started) = self.started {
+            record_duration(name, started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn inactive_calls_are_noops() {
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        record("h", 1);
+        let _span = span("s");
+        stopwatch().record("sw");
+        assert!(!is_active());
+        // A session started afterwards sees none of it.
+        let snap = ObsSession::start().finish();
+        assert_eq!(snap.counters.len(), 0);
+        assert_eq!(snap.histograms.len(), 0);
+        assert_eq!(snap.spans.len(), 0);
+    }
+
+    #[test]
+    fn session_collects_and_disarms() {
+        let mut session = ObsSession::start();
+        assert!(is_active());
+        session.label("workload", "test");
+        counter_add("value_tree.inserts", 2);
+        counter_add("value_tree.inserts", 3);
+        gauge_set("replication.nash_surplus", 1.25);
+        record("routing.queue_wait_tuples", 64);
+        let snap = session.finish();
+        assert!(!is_active());
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(
+            snap.labels,
+            vec![("workload".to_owned(), "test".to_owned())]
+        );
+        assert_eq!(snap.counter("value_tree.inserts"), Some(5));
+        assert_eq!(snap.gauge("replication.nash_surplus"), Some(1.25));
+        assert_eq!(
+            snap.histogram("routing.queue_wait_tuples").map(|h| h.max),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn nested_spans_attribute_child_time() {
+        let session = ObsSession::start();
+        {
+            let _outer = span("pipeline");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("scheme");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let _inner = span("scheme");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let snap = session.finish();
+        let outer = snap.span("pipeline").unwrap();
+        let inner = snap.span("pipeline/scheme").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        // Child wall-clock is contained in the parent's.
+        assert!(inner.total_ns <= outer.total_ns);
+        // The parent's child_ns is exactly the inner spans' total.
+        assert_eq!(outer.child_ns, inner.total_ns);
+        // Leaf spans have no children.
+        assert_eq!(inner.child_ns, 0);
+        // Self time is non-negative by construction and here strictly
+        // positive because the outer scope slept on its own.
+        assert!(outer.total_ns - outer.child_ns > 0);
+    }
+
+    #[test]
+    fn sessions_shelve_and_restore() {
+        let outer = ObsSession::start();
+        counter_add("outer", 1);
+        {
+            let inner = ObsSession::start();
+            counter_add("inner", 1);
+            let snap = inner.finish();
+            assert_eq!(snap.counter("inner"), Some(1));
+            assert_eq!(snap.counter("outer"), None);
+        }
+        // The outer session is live again and kept its data.
+        counter_add("outer", 1);
+        let snap = outer.finish();
+        assert_eq!(snap.counter("outer"), Some(2));
+        assert_eq!(snap.counter("inner"), None);
+    }
+
+    #[test]
+    fn dropping_unfinished_session_restores_previous() {
+        let outer = ObsSession::start();
+        counter_add("outer", 1);
+        {
+            let _abandoned = ObsSession::start();
+            counter_add("lost", 1);
+            // dropped without finish()
+        }
+        let snap = outer.finish();
+        assert_eq!(snap.counter("outer"), Some(1));
+        assert_eq!(snap.counter("lost"), None);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn stopwatch_records_into_histogram() {
+        let session = ObsSession::start();
+        let sw = stopwatch();
+        std::thread::sleep(Duration::from_millis(1));
+        sw.record("fragment.greedy_ns");
+        let snap = session.finish();
+        let h = snap.histogram("fragment.greedy_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 1_000_000, "slept ≥1ms, got {}ns", h.max);
+    }
+
+    #[test]
+    fn record_duration_saturates() {
+        let session = ObsSession::start();
+        record_duration("d", Duration::from_secs(u64::MAX));
+        let snap = session.finish();
+        assert_eq!(snap.histogram("d").map(|h| h.max), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,112 @@
+//! Driver-level observability coverage: a full pipeline run under an
+//! `ObsSession` must leave at least one metric from every stage, with a
+//! well-formed span hierarchy, and serialize through the snapshot schema.
+
+use nashdb::{run_workload, NashDbConfig, NashDbDistributor, RunConfig};
+use nashdb_cluster::ClusterConfig;
+use nashdb_core::economics::NodeSpec;
+use nashdb_core::routing::MaxOfMins;
+use nashdb_obs::{ObsSession, ObsSnapshot};
+use nashdb_sim::SimDuration;
+use nashdb_workload::bernoulli::{workload as bernoulli, BernoulliConfig};
+
+/// One metric-name prefix per pipeline stage.
+const STAGES: &[&str] = &[
+    "value_tree.",
+    "fragment.",
+    "replication.",
+    "packing.",
+    "transition.",
+    "routing.",
+    "cluster.",
+];
+
+fn run_under_session() -> ObsSnapshot {
+    let w = bernoulli(&BernoulliConfig {
+        size_gb: 2,
+        queries: 80,
+        spacing: SimDuration::from_secs(10),
+        ..BernoulliConfig::default()
+    });
+    let run = RunConfig {
+        cluster: ClusterConfig {
+            throughput_tps: 1_000_000.0,
+            node_cost_per_hour: 100.0,
+            metrics_bucket: SimDuration::from_secs(600),
+        },
+        reconfig_interval: SimDuration::from_secs(300),
+        ..RunConfig::default()
+    };
+    let cfg = NashDbConfig {
+        spec: NodeSpec::new(100.0, 2_000_000),
+        max_frags_per_table: 16,
+        ..NashDbConfig::default()
+    };
+    let session = ObsSession::start();
+    let mut nash = NashDbDistributor::new(&w.db, cfg);
+    let m = run_workload(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run);
+    assert_eq!(m.queries.len(), 80, "workload must complete");
+    session.finish()
+}
+
+#[test]
+fn every_pipeline_stage_emits_at_least_one_metric() {
+    let snap = run_under_session();
+    let missing = snap.missing_stages(STAGES);
+    assert!(missing.is_empty(), "stages without metrics: {missing:?}");
+    // Spot-check one concrete metric per stage, so a rename that keeps the
+    // prefix but loses the signal still fails loudly.
+    for name in [
+        "value_tree.inserts",
+        "fragment.greedy_runs",
+        "replication.decisions",
+        "packing.placements",
+        "transition.plans",
+        "routing.scans_routed",
+        "cluster.queries_completed",
+    ] {
+        assert!(
+            snap.counter(name).is_some_and(|v| v > 0),
+            "expected counter {name} > 0"
+        );
+    }
+}
+
+#[test]
+fn driver_spans_nest_and_account() {
+    let snap = run_under_session();
+    let pipeline = snap.span("pipeline").expect("root span");
+    assert_eq!(pipeline.count, 1);
+    // Direct children of the root must fit inside it.
+    let child_total: u64 = [
+        "pipeline/provision",
+        "pipeline/query",
+        "pipeline/reconfigure",
+    ]
+    .iter()
+    .filter_map(|p| snap.span(p))
+    .map(|s| s.total_ns)
+    .sum();
+    assert!(
+        child_total <= pipeline.total_ns,
+        "children ({child_total} ns) exceed root ({} ns)",
+        pipeline.total_ns
+    );
+    assert_eq!(pipeline.child_ns, child_total);
+    // The per-query span fired once per query, and its route child too.
+    let query = snap.span("pipeline/query").expect("query span");
+    assert_eq!(query.count, 80);
+    let route = snap.span("pipeline/query/route").expect("route span");
+    assert_eq!(route.count, 80);
+    assert_eq!(query.child_ns, route.total_ns);
+}
+
+#[test]
+fn snapshot_round_trips_through_schema() {
+    let mut snap = run_under_session();
+    snap.scrub_timings();
+    let json = snap.to_json_string();
+    let parsed = ObsSnapshot::from_json_str(&json).expect("schema-valid");
+    assert_eq!(parsed, snap);
+    assert_eq!(parsed.to_json_string(), json);
+}
