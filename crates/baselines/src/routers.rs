@@ -10,22 +10,24 @@
 use std::collections::HashSet;
 
 use nashdb_core::ids::NodeId;
-use nashdb_core::routing::{Assignment, FragmentRequest, QueueView, ScanRouter};
+use nashdb_core::routing::{
+    validate_requests, Assignment, FragmentRequest, QueueView, RouteError, ScanRouter,
+};
 
 /// Always pick the least-loaded replica.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShortestQueue;
 
 impl ScanRouter for ShortestQueue {
-    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
-        requests
+    fn route(
+        &self,
+        requests: &[FragmentRequest],
+        queues: &mut QueueView,
+    ) -> Result<Vec<Assignment>, RouteError> {
+        validate_requests(requests)?;
+        Ok(requests
             .iter()
             .map(|req| {
-                assert!(
-                    !req.candidates.is_empty(),
-                    "fragment {} has no replicas to read",
-                    req.fragment
-                );
                 let mut node = req.candidates[0];
                 for &n in &req.candidates[1..] {
                     if (queues.wait(n), n) < (queues.wait(node), node) {
@@ -38,7 +40,7 @@ impl ScanRouter for ShortestQueue {
                     node,
                 }
             })
-            .collect()
+            .collect())
     }
 
     fn name(&self) -> &'static str {
@@ -53,15 +55,13 @@ impl ScanRouter for ShortestQueue {
 pub struct GreedySetCover;
 
 impl ScanRouter for GreedySetCover {
-    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
+    fn route(
+        &self,
+        requests: &[FragmentRequest],
+        queues: &mut QueueView,
+    ) -> Result<Vec<Assignment>, RouteError> {
+        validate_requests(requests)?;
         let mut remaining: Vec<&FragmentRequest> = requests.iter().collect();
-        for r in &remaining {
-            assert!(
-                !r.candidates.is_empty(),
-                "fragment {} has no replicas to read",
-                r.fragment
-            );
-        }
         let mut out = Vec::with_capacity(requests.len());
         while !remaining.is_empty() {
             // Count coverage per candidate node.
@@ -83,7 +83,7 @@ impl ScanRouter for GreedySetCover {
                     )
                 })
                 .max();
-            // Every remaining request has at least one candidate (asserted
+            // Every remaining request has at least one candidate (validated
             // above), so a round always finds a node.
             let Some(best) = best else { break };
             let node = best.2 .0;
@@ -101,7 +101,7 @@ impl ScanRouter for GreedySetCover {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -127,14 +127,16 @@ mod tests {
     fn shortest_queue_balances_ignoring_span() {
         let r = ShortestQueue;
         let mut q = QueueView::new(3);
-        let out = r.route(
-            &[
-                req(0, 10, &[0, 1, 2]),
-                req(1, 10, &[0, 1, 2]),
-                req(2, 10, &[0, 1, 2]),
-            ],
-            &mut q,
-        );
+        let out = r
+            .route(
+                &[
+                    req(0, 10, &[0, 1, 2]),
+                    req(1, 10, &[0, 1, 2]),
+                    req(2, 10, &[0, 1, 2]),
+                ],
+                &mut q,
+            )
+            .unwrap();
         // Perfect spread: span 3.
         assert_eq!(span(&out), 3);
     }
@@ -143,7 +145,7 @@ mod tests {
     fn shortest_queue_respects_existing_load() {
         let r = ShortestQueue;
         let mut q = QueueView::from_waits(vec![1_000, 0]);
-        let out = r.route(&[req(0, 10, &[0, 1])], &mut q);
+        let out = r.route(&[req(0, 10, &[0, 1])], &mut q).unwrap();
         assert_eq!(out[0].node, NodeId(1));
     }
 
@@ -152,10 +154,12 @@ mod tests {
         let r = GreedySetCover;
         let mut q = QueueView::new(3);
         // Node 2 covers everything; others cover one each.
-        let out = r.route(
-            &[req(0, 10, &[0, 2]), req(1, 10, &[1, 2]), req(2, 10, &[2])],
-            &mut q,
-        );
+        let out = r
+            .route(
+                &[req(0, 10, &[0, 2]), req(1, 10, &[1, 2]), req(2, 10, &[2])],
+                &mut q,
+            )
+            .unwrap();
         assert_eq!(span(&out), 1);
         assert!(out.iter().all(|a| a.node == NodeId(2)));
     }
@@ -166,7 +170,9 @@ mod tests {
         // Node 0 covers both fragments but is heavily loaded; Greedy SC
         // still funnels everything to it (that is its pathology, Fig. 8c).
         let mut q = QueueView::from_waits(vec![1_000_000, 0, 0]);
-        let out = r.route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 2])], &mut q);
+        let out = r
+            .route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 2])], &mut q)
+            .unwrap();
         assert_eq!(span(&out), 1);
         assert!(out.iter().all(|a| a.node == NodeId(0)));
     }
@@ -176,10 +182,12 @@ mod tests {
         let r = GreedySetCover;
         let mut q = QueueView::new(3);
         // No single node covers everything.
-        let out = r.route(
-            &[req(0, 10, &[0]), req(1, 10, &[1]), req(2, 10, &[1])],
-            &mut q,
-        );
+        let out = r
+            .route(
+                &[req(0, 10, &[0]), req(1, 10, &[1]), req(2, 10, &[1])],
+                &mut q,
+            )
+            .unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(span(&out), 2);
     }
@@ -194,7 +202,10 @@ mod tests {
         for router in [&ShortestQueue as &dyn ScanRouter, &GreedySetCover] {
             let mut q1 = QueueView::new(3);
             let mut q2 = QueueView::new(3);
-            assert_eq!(router.route(&reqs, &mut q1), router.route(&reqs, &mut q2));
+            assert_eq!(
+                router.route(&reqs, &mut q1).unwrap(),
+                router.route(&reqs, &mut q2).unwrap()
+            );
         }
     }
 }

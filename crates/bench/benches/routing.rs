@@ -1,4 +1,5 @@
 //! Criterion bench: scan routers (§8) on synthetic queue states.
+#![allow(clippy::unwrap_used)] // bench harness: panicking on a malformed problem is correct
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use nashdb_baselines::{GreedySetCover, ShortestQueue};
@@ -42,7 +43,7 @@ fn bench_routers(c: &mut Criterion) {
             let router = MaxOfMins::new(70_000);
             b.iter(|| {
                 let mut q = QueueView::from_waits(waits.clone());
-                black_box(router.route(&reqs, &mut q).len())
+                black_box(router.route(&reqs, &mut q).unwrap().len())
             });
         });
         group.bench_with_input(
@@ -51,14 +52,14 @@ fn bench_routers(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut q = QueueView::from_waits(waits.clone());
-                    black_box(ShortestQueue.route(&reqs, &mut q).len())
+                    black_box(ShortestQueue.route(&reqs, &mut q).unwrap().len())
                 });
             },
         );
         group.bench_with_input(BenchmarkId::new("greedy_sc", &id), &requests, |b, _| {
             b.iter(|| {
                 let mut q = QueueView::from_waits(waits.clone());
-                black_box(GreedySetCover.route(&reqs, &mut q).len())
+                black_box(GreedySetCover.route(&reqs, &mut q).unwrap().len())
             });
         });
     }

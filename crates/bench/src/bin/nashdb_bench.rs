@@ -4,6 +4,7 @@
 //! ```text
 //! nashdb-bench smoke --seed 42 --obs-out BENCH_PR.json
 //! nashdb-bench smoke --stable        # scrub wall-clock for byte-stable output
+//! nashdb-bench perf --obs-out BENCH_PR.json
 //! nashdb-bench validate BENCH_PR.json
 //! ```
 //!
@@ -11,16 +12,24 @@
 
 use std::process::exit;
 
+use nashdb_bench::perf::{perf_snapshot, PerfConfig, PERF_STAGES};
 use nashdb_bench::smoke::{run_smoke, SmokeConfig, REQUIRED_STAGES};
 use nashdb_obs::ObsSnapshot;
 
 const HELP: &str = "\
-nashdb-bench — observability smoke run and snapshot validation
+nashdb-bench — observability smoke/perf runs and snapshot validation
 
 USAGE:
   nashdb-bench smoke [OPTIONS]     run the fixed-seed smoke workload and
                                    emit its observability snapshot
+  nashdb-bench perf [OPTIONS]      time the routing / scheme-lookup /
+                                   fragmentation / packing hot paths on a
+                                   fixed-seed workload and emit the
+                                   comparison as a snapshot
   nashdb-bench validate FILE       parse and schema-check a snapshot file
+                                   (perf snapshots are recognized by their
+                                   kind=perf label and checked against the
+                                   perf schema)
 
 SMOKE OPTIONS:
   --seed N          workload RNG seed (default 42)
@@ -29,6 +38,17 @@ SMOKE OPTIONS:
   --obs-out FILE    write the JSON snapshot here (default: stdout)
   --stable          scrub wall-clock timings so same-seed runs are
                     byte-identical (sim-time metrics are kept)
+
+PERF OPTIONS:
+  --seed N          problem RNG seed (default 42)
+  --fragments N     fragment requests per scan (default 64)
+  --nodes N         cluster nodes (default 16)
+  --scans N         scans per timing pass (default 400)
+  --min-routing-speedup X
+                    fail (exit 1) if the incremental router is not at
+                    least X times faster than the naive reference
+  --obs-out FILE    write the JSON snapshot here (default: BENCH_PR.json)
+
   -h, --help        this text
 ";
 
@@ -84,6 +104,7 @@ fn main() {
     }
     match args.0.remove(0).as_str() {
         "smoke" => smoke(args),
+        "perf" => perf(args),
         "validate" => validate(args),
         other => die(&format!("unknown subcommand {other:?}")),
     }
@@ -137,6 +158,48 @@ fn smoke(mut args: Args) {
     }
 }
 
+fn perf(mut args: Args) {
+    let cfg = PerfConfig {
+        seed: args.parse("--seed").unwrap_or(42),
+        fragments: args.parse("--fragments").unwrap_or(64),
+        nodes: args.parse("--nodes").unwrap_or(16),
+        scans: args.parse("--scans").unwrap_or(400),
+        ..PerfConfig::default()
+    };
+    let min_speedup: Option<f64> = args.parse("--min-routing-speedup");
+    let out = args
+        .value("--obs-out")
+        .unwrap_or_else(|| "BENCH_PR.json".to_owned());
+    if !args.0.is_empty() {
+        die(&format!("unrecognized arguments: {:?}", args.0));
+    }
+
+    let snap = perf_snapshot(&cfg);
+    let missing = snap.missing_stages(PERF_STAGES);
+    if !missing.is_empty() {
+        fail(&format!("perf stages emitted no metrics: {missing:?}"));
+    }
+    let routing = snap.gauge("perf.routing.speedup").unwrap_or(0.0);
+    let lookup = snap.gauge("perf.lookup.speedup").unwrap_or(0.0);
+    eprintln!(
+        "perf ok: seed {} — routing {:.1}x faster than naive reference, \
+         indexed lookups {:.1}x faster than linear scans",
+        cfg.seed, routing, lookup
+    );
+    if let Some(min) = min_speedup {
+        if routing < min {
+            fail(&format!(
+                "routing speedup {routing:.2}x is below the required {min}x"
+            ));
+        }
+    }
+    let json = snap.to_json_string();
+    if let Err(e) = std::fs::write(&out, &json) {
+        fail(&format!("writing {out}: {e}"));
+    }
+    eprintln!("snapshot written to {out}");
+}
+
 fn validate(mut args: Args) {
     if args.0.len() != 1 {
         die("validate takes exactly one FILE argument");
@@ -150,7 +213,15 @@ fn validate(mut args: Args) {
         Ok(snap) => snap,
         Err(e) => fail(&format!("{path}: {e}")),
     };
-    let missing = snap.missing_stages(REQUIRED_STAGES);
+    // Perf snapshots label themselves; everything else is a pipeline run
+    // and must cover the full stage list.
+    let is_perf = snap.labels.iter().any(|(k, v)| k == "kind" && v == "perf");
+    let required = if is_perf {
+        PERF_STAGES
+    } else {
+        REQUIRED_STAGES
+    };
+    let missing = snap.missing_stages(required);
     if !missing.is_empty() {
         fail(&format!(
             "{path}: pipeline stages emitted no metrics: {missing:?}"

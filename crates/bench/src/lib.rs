@@ -18,6 +18,7 @@
 
 pub mod env;
 pub mod experiments;
+pub mod perf;
 pub mod smoke;
 
 /// All experiment ids, in presentation order.

@@ -50,22 +50,35 @@ pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentatio
     }
     let mut choice = vec![vec![0usize; m + 1]; k + 1];
 
+    // Each layer-j cell depends only on the layer-(j-1) row, so a layer's
+    // cells fill independently and in any order — including across worker
+    // threads. Every cell is computed by the identical float expression
+    // whether the layer ran serially or fanned out, so results are
+    // bit-identical either way. The chunk threshold keeps the common case
+    // (m ≤ 2|W|+1 ≈ 101) on the serial fast path; only wide layers from
+    // very large windows spread across cores.
+    const PAR_MIN_CELLS: usize = 256;
     for j in 2..=k {
-        let mut next = vec![f64::INFINITY; m + 1];
         // With j fragments we can cover at least j chunks and must leave at
         // least j-1 chunks behind the last cut.
-        for i in j..=m {
+        let dp_prev = &dp;
+        let layer = nashdb_par::fill(m + 1 - j, PAR_MIN_CELLS, |off| {
+            let i = j + off;
             let mut best = f64::INFINITY;
             let mut best_p = j - 1;
             for p in (j - 1)..i {
-                let cand = dp[p] + err(p, i);
+                let cand = dp_prev[p] + err(p, i);
                 if cand < best {
                     best = cand;
                     best_p = p;
                 }
             }
-            next[i] = best;
-            choice[j][i] = best_p;
+            (best, best_p)
+        });
+        let mut next = vec![f64::INFINITY; m + 1];
+        for (off, (best, best_p)) in layer.into_iter().enumerate() {
+            next[j + off] = best;
+            choice[j][j + off] = best_p;
         }
         dp = next;
     }

@@ -169,6 +169,13 @@ impl std::error::Error for PackError {}
 
 /// A complete cluster configuration: replica counts plus their assignment
 /// onto the provisioned nodes. Node ids are indices into `nodes`.
+///
+/// Construction builds an id → decision index and per-node usage totals, so
+/// the per-query lookups ([`hosts`](ClusterScheme::hosts),
+/// [`range_of`](ClusterScheme::range_of),
+/// [`node_used`](ClusterScheme::node_used)) are O(1) instead of scanning
+/// `decisions` — `node_used` in particular was a linear scan *per hosted
+/// fragment* before the index existed.
 #[derive(Debug, Clone)]
 pub struct ClusterScheme {
     /// Policy the scheme was built under.
@@ -178,6 +185,10 @@ pub struct ClusterScheme {
     /// For each provisioned node, the fragments it hosts.
     pub nodes: Vec<Vec<FragmentId>>,
     hosts: HashMap<FragmentId, Vec<NodeId>>,
+    /// Fragment id → index into `decisions`.
+    decision_of: HashMap<FragmentId, usize>,
+    /// Per node, total tuples stored (same order as `nodes`).
+    used: Vec<u64>,
 }
 
 impl ClusterScheme {
@@ -188,10 +199,19 @@ impl ClusterScheme {
     ) -> Result<ClusterScheme, PackError> {
         let decisions = decide_replicas(stats, &policy);
         let nodes = pack_bffd(&decisions, policy.spec.disk)?;
+        let decision_of: HashMap<FragmentId, usize> = decisions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.id, i))
+            .collect();
         let mut hosts: HashMap<FragmentId, Vec<NodeId>> = HashMap::new();
+        let mut used = vec![0u64; nodes.len()];
         for (n, frags) in nodes.iter().enumerate() {
             for &f in frags {
                 hosts.entry(f).or_default().push(NodeId(n as u64));
+                if let Some(&i) = decision_of.get(&f) {
+                    used[n] = used[n].saturating_add(decisions[i].range.size());
+                }
             }
         }
         Ok(ClusterScheme {
@@ -199,6 +219,8 @@ impl ClusterScheme {
             decisions,
             nodes,
             hosts,
+            decision_of,
+            used,
         })
     }
 
@@ -212,38 +234,46 @@ impl ClusterScheme {
         self.hosts.get(&fragment).map_or(&[], Vec::as_slice)
     }
 
-    /// The tuple range of `fragment`, if it exists in the scheme.
+    /// The tuple range of `fragment`, if it exists in the scheme. O(1) via
+    /// the id → decision index.
     pub fn range_of(&self, fragment: FragmentId) -> Option<FragmentRange> {
-        self.decisions
-            .iter()
-            .find(|d| d.id == fragment)
-            .map(|d| d.range)
+        self.decision_of
+            .get(&fragment)
+            .map(|&i| self.decisions[i].range)
     }
 
-    /// Tuples stored on node `n`.
+    /// The full decision for `fragment`, if it exists in the scheme.
+    pub fn decision_of(&self, fragment: FragmentId) -> Option<&ReplicationDecision> {
+        self.decision_of.get(&fragment).map(|&i| &self.decisions[i])
+    }
+
+    /// Tuples stored on node `n`. O(1): totals are precomputed at build.
     pub fn node_used(&self, n: NodeId) -> u64 {
-        self.nodes[n.index()]
-            .iter()
-            .map(|f| self.range_of(*f).map_or(0, |r| r.size()))
-            .sum()
+        self.used[n.index()]
     }
 
     /// The economically meaningful part of the scheme as an
     /// [`EconomicConfig`], for equilibrium verification. Forced single
     /// replicas (Ideal = 0) are excluded: they exist for availability, not
     /// profit, and the paper's theorem does not cover them.
+    ///
+    /// Output order is deterministic: `fragments` follows `decisions` (id
+    /// order) rather than any hash-map iteration order, so two identical
+    /// schemes serialize byte-identically.
     pub fn economic_config(&self) -> EconomicConfig {
-        let keep: HashMap<FragmentId, &ReplicationDecision> = self
+        let keep: std::collections::HashSet<FragmentId> = self
             .decisions
             .iter()
             .filter(|d| !d.forced)
-            .map(|d| (d.id, d))
+            .map(|d| d.id)
             .collect();
         EconomicConfig {
             window: self.policy.window,
             spec: self.policy.spec,
-            fragments: keep
-                .values()
+            fragments: self
+                .decisions
+                .iter()
+                .filter(|d| !d.forced)
                 .map(|d| FragmentEconomics {
                     id: d.id,
                     size: d.range.size(),
@@ -258,11 +288,7 @@ impl ClusterScheme {
                 .map(|(n, frags)| {
                     (
                         NodeId(n as u64),
-                        frags
-                            .iter()
-                            .copied()
-                            .filter(|f| keep.contains_key(f))
-                            .collect(),
+                        frags.iter().copied().filter(|f| keep.contains(f)).collect(),
                     )
                 })
                 .collect(),
@@ -476,6 +502,82 @@ mod tests {
         assert_eq!(check_equilibrium(&scheme.economic_config()), Ok(()));
         // Forced fragment still hosted exactly once.
         assert_eq!(scheme.hosts(FragmentId(2)).len(), 1);
+    }
+
+    #[test]
+    fn indexed_lookups_match_linear_scan_reference() {
+        // The O(1) index must agree with the definitional linear scans it
+        // replaced, across a scheme big enough to exercise many nodes.
+        let policy = ReplicationPolicy::new(50, spec());
+        let st: Vec<FragmentStats> = (0..40)
+            .map(|i| {
+                stats(
+                    i,
+                    i * 25,
+                    (i + 1) * 25,
+                    f64::from(u32::try_from(i % 7).unwrap()) * 0.6,
+                )
+            })
+            .collect();
+        let scheme = ClusterScheme::build(&st, policy).unwrap();
+        for probe in 0..45 {
+            let f = FragmentId(probe);
+            let linear = scheme.decisions.iter().find(|d| d.id == f);
+            assert_eq!(scheme.range_of(f), linear.map(|d| d.range));
+            assert_eq!(scheme.decision_of(f).map(|d| d.id), linear.map(|d| d.id));
+        }
+        for n in 0..scheme.num_nodes() {
+            let node = NodeId(n as u64);
+            let linear: u64 = scheme.nodes[n]
+                .iter()
+                .map(|f| {
+                    scheme
+                        .decisions
+                        .iter()
+                        .find(|d| d.id == *f)
+                        .map_or(0, |d| d.range.size())
+                })
+                .sum();
+            assert_eq!(scheme.node_used(node), linear, "node {node}");
+        }
+    }
+
+    #[test]
+    fn economic_config_is_deterministic_and_id_ordered() {
+        // Regression: `economic_config` used to collect the non-forced
+        // decisions into a HashMap and emit `fragments` in hash-iteration
+        // order, so two identical schemes could serialize differently.
+        let policy = ReplicationPolicy::new(50, spec());
+        let st: Vec<FragmentStats> = (0..24)
+            .map(|i| {
+                stats(
+                    i,
+                    i * 40,
+                    (i + 1) * 40,
+                    if i % 5 == 0 {
+                        0.0 // forced singles interleaved with economic ones
+                    } else {
+                        1.0 + f64::from(u32::try_from(i % 3).unwrap())
+                    },
+                )
+            })
+            .collect();
+        // Rebuild from scratch each round: every build used to mint a fresh
+        // (randomly seeded) HashMap, which is where the order instability
+        // came from — repeated calls on one scheme would not catch it.
+        let serialize = || {
+            let scheme = ClusterScheme::build(&st, policy).unwrap();
+            format!("{:?}", scheme.economic_config())
+        };
+        let first = serialize();
+        for _ in 0..10 {
+            assert_eq!(serialize(), first);
+        }
+        let cfg = ClusterScheme::build(&st, policy).unwrap().economic_config();
+        for w in cfg.fragments.windows(2) {
+            assert!(w[0].id < w[1].id, "fragments out of id order");
+        }
+        assert!(cfg.fragments.iter().all(|f| f.value > 0.0));
     }
 
     #[test]

@@ -13,8 +13,16 @@
 //! scan latency and read time is proportional to tuples, §8); the cluster
 //! layer converts its time-based queue lengths and the paper's ϕ = 350 ms
 //! into tuple units via node throughput.
+//!
+//! [`MaxOfMins`] runs Eq. 11 *incrementally*: each pending request caches
+//! its current best `(node, effective wait)` in a max-ordered heap, and a
+//! placement re-evaluates only the requests it could have invalidated —
+//! those listing the placed node as a candidate (its queue grew, and the
+//! first placement also flips its ϕ penalty off). The textbook O(R²·C)
+//! double loop is retained verbatim in [`mod@reference`] as the executable
+//! specification the incremental router is property-tested against.
 
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::ids::{FragmentId, NodeId};
 
@@ -36,6 +44,41 @@ pub struct Assignment {
     pub fragment: FragmentId,
     /// The chosen replica's node.
     pub node: NodeId,
+}
+
+/// Why a scan could not be routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// A request's candidate list is empty: the fragment is hosted nowhere
+    /// the router can see, so no assignment exists.
+    NoReplicas {
+        /// The unroutable fragment.
+        fragment: FragmentId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NoReplicas { fragment } => {
+                write!(f, "fragment {fragment} has no replicas to read")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Checks every request has at least one candidate replica — the one
+/// structural precondition all routers share, validated once per scan
+/// instead of once per inner-loop iteration.
+pub fn validate_requests(requests: &[FragmentRequest]) -> Result<(), RouteError> {
+    match requests.iter().find(|r| r.candidates.is_empty()) {
+        Some(r) => Err(RouteError::NoReplicas {
+            fragment: r.fragment,
+        }),
+        None => Ok(()),
+    }
 }
 
 /// A mutable view of per-node queued work, in tuples.
@@ -75,9 +118,12 @@ impl QueueView {
         self.waits[node.index()]
     }
 
-    /// Adds `size` tuples of work to `node`'s queue.
+    /// Adds `size` tuples of work to `node`'s queue, saturating at
+    /// `u64::MAX` — every read path treats waits as saturating, so the
+    /// write path must too or an adversarial wait/size pair overflows.
     pub fn enqueue(&mut self, node: NodeId, size: u64) {
-        self.waits[node.index()] += size;
+        let slot = &mut self.waits[node.index()];
+        *slot = slot.saturating_add(size);
     }
 }
 
@@ -85,8 +131,13 @@ impl QueueView {
 pub trait ScanRouter {
     /// Routes every request of one scan, updating `queues` with the work it
     /// places. Implementations must assign each request to one of its
-    /// candidates.
-    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment>;
+    /// candidates, and reject a request with no candidates as
+    /// [`RouteError::NoReplicas`] before placing anything.
+    fn route(
+        &self,
+        requests: &[FragmentRequest],
+        queues: &mut QueueView,
+    ) -> Result<Vec<Assignment>, RouteError>;
 
     /// Human-readable name for experiment output.
     fn name(&self) -> &'static str;
@@ -108,7 +159,15 @@ fn record_scan_metrics(assignments: &[Assignment]) {
     crate::obs_hooks::record("routing.query_span", span(assignments) as u64);
 }
 
-/// The paper's Max-of-mins router (Eq. 11).
+/// The paper's Max-of-mins router (Eq. 11), incremental formulation.
+///
+/// Produces exactly the assignments (and assignment order) of the naive
+/// re-evaluate-everything loop in [`reference::max_of_mins`] whenever
+/// fragment ids are distinct within the scan (which
+/// `DistScheme::requests_for_query` guarantees by deduplication), at
+/// O((R + I)·log R) heap work plus O(I·C) re-evaluations, where `I` is the
+/// number of placement-invalidated cache entries instead of the naive
+/// R²-ish full rescans.
 #[derive(Debug, Clone, Copy)]
 pub struct MaxOfMins {
     /// Span penalty ϕ in tuple units: the wait-equivalent cost of touching
@@ -123,32 +182,207 @@ impl MaxOfMins {
     }
 }
 
+/// A pending request's place in the bottleneck-first max-heap. Ordered by
+/// the Eq. 11 selection key — largest best-achievable wait first, ties
+/// toward larger reads, then smaller fragment id, then smaller request
+/// index — so `BinaryHeap::pop` yields exactly the request the naive scan
+/// would pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    eff: u64,
+    size: u64,
+    fragment: std::cmp::Reverse<FragmentId>,
+    index: std::cmp::Reverse<usize>,
+    version: u64,
+}
+
+/// A pending request's cached best choice under the current queue state.
+#[derive(Debug, Clone, Copy)]
+struct Best {
+    node: NodeId,
+    eff: u64,
+    version: u64,
+}
+
+impl MaxOfMins {
+    /// Eq. 11 inner minimum for one request under the current queue and
+    /// chosen-set state: the candidate with the smallest effective wait,
+    /// ties toward the lower node id.
+    fn best_of(&self, req: &FragmentRequest, queues: &QueueView, chosen: &[bool]) -> (NodeId, u64) {
+        let mut best: Option<(u64, NodeId)> = None;
+        for &n in &req.candidates {
+            let penalty = if chosen[n.index()] { 0 } else { self.phi };
+            let key = (queues.wait(n).saturating_add(penalty), n);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        // `route` validated candidates nonempty, so `best` is always set;
+        // an impossible miss routes to a sentinel that the candidate check
+        // in tests would catch rather than panicking from library code.
+        let (eff, node) = best.unwrap_or((u64::MAX, NodeId(u64::MAX)));
+        (node, eff)
+    }
+}
+
 impl ScanRouter for MaxOfMins {
-    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
+    fn route(
+        &self,
+        requests: &[FragmentRequest],
+        queues: &mut QueueView,
+    ) -> Result<Vec<Assignment>, RouteError> {
+        validate_requests(requests)?;
+
+        // Node-indexed scratch sized to cover every candidate (candidate
+        // ids index into `queues`, but an oversized id should fail on the
+        // queue lookup exactly as it always has, not on router scratch).
+        let nodes = requests
+            .iter()
+            .flat_map(|r| r.candidates.iter())
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(queues.len());
+        let mut chosen = vec![false; nodes];
+        // Inverted index: which requests list each node as a candidate —
+        // exactly the cache entries a placement on that node can invalidate.
+        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        for (i, req) in requests.iter().enumerate() {
+            for &n in &req.candidates {
+                by_node[n.index()].push(i);
+            }
+        }
+
+        let mut placed = vec![false; requests.len()];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(requests.len());
+        let mut cached: Vec<Best> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let (node, eff) = self.best_of(req, queues, &chosen);
+                heap.push(HeapEntry {
+                    eff,
+                    size: req.size,
+                    fragment: std::cmp::Reverse(req.fragment),
+                    index: std::cmp::Reverse(i),
+                    version: 0,
+                });
+                Best {
+                    node,
+                    eff,
+                    version: 0,
+                }
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(requests.len());
+        while let Some(entry) = heap.pop() {
+            let idx = entry.index.0;
+            if placed[idx] || entry.version != cached[idx].version {
+                continue; // superseded by a re-evaluation
+            }
+            let req = &requests[idx];
+            let node = cached[idx].node;
+            placed[idx] = true;
+            crate::obs_hooks::record("routing.queue_wait_tuples", queues.wait(node));
+            queues.enqueue(node, req.size);
+            chosen[node.index()] = true;
+            out.push(Assignment {
+                fragment: req.fragment,
+                node,
+            });
+
+            // Re-evaluate only what this placement could have changed: the
+            // placed node's queue grew and (on first touch) its ϕ penalty
+            // vanished, so only requests listing it as a candidate can see
+            // a different Eq. 11 minimum.
+            let via_node = queues.wait(node); // chosen ⇒ no penalty
+            for &j in &by_node[node.index()] {
+                if placed[j] {
+                    continue;
+                }
+                let best = cached[j];
+                if best.node == node {
+                    // The invalidated entry *was* the placed node: its wait
+                    // rose, so the cached minimum may no longer hold.
+                    let (n, eff) = self.best_of(&requests[j], queues, &chosen);
+                    cached[j] = Best {
+                        node: n,
+                        eff,
+                        version: best.version + 1,
+                    };
+                } else if (via_node, node) < (best.eff, best.node) {
+                    // The placed node just undercut the cached minimum
+                    // (penalty flipped off); every other candidate is
+                    // untouched, so this O(1) patch is exact.
+                    cached[j] = Best {
+                        node,
+                        eff: via_node,
+                        version: best.version + 1,
+                    };
+                } else {
+                    continue; // cached minimum still exact
+                }
+                heap.push(HeapEntry {
+                    eff: cached[j].eff,
+                    size: requests[j].size,
+                    fragment: std::cmp::Reverse(requests[j].fragment),
+                    index: std::cmp::Reverse(j),
+                    version: cached[j].version,
+                });
+            }
+        }
+        record_scan_metrics(&out);
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "max-of-mins"
+    }
+}
+
+pub mod reference {
+    //! Naive reference implementations retained as executable
+    //! specifications for property tests and the `nashdb-bench perf`
+    //! before/after comparison. Not for production paths: the Max-of-mins
+    //! loop here is the O(R²·C) formulation the incremental router
+    //! replaced (including its per-iteration revalidation overhead).
+
+    use super::{Assignment, FragmentRequest, QueueView, RouteError};
+    use crate::ids::NodeId;
+    use std::collections::HashSet;
+
+    /// The textbook Eq. 11 loop: every outer iteration re-derives every
+    /// pending request's best choice from scratch and places the worst
+    /// best. Identical assignments (and assignment order) to
+    /// [`MaxOfMins`](super::MaxOfMins) for scans with distinct fragment
+    /// ids.
+    pub fn max_of_mins(
+        phi: u64,
+        requests: &[FragmentRequest],
+        queues: &mut QueueView,
+    ) -> Result<Vec<Assignment>, RouteError> {
+        super::validate_requests(requests)?;
         let mut remaining: Vec<&FragmentRequest> = requests.iter().collect();
         let mut chosen: HashSet<NodeId> = HashSet::new();
         let mut out = Vec::with_capacity(requests.len());
 
         while !remaining.is_empty() {
-            // For each pending request, its best effective wait and the node
-            // achieving it; then schedule the *worst best* (the bottleneck).
+            // For each pending request, its best effective wait and the
+            // node achieving it; then schedule the *worst best* (the
+            // bottleneck).
             let mut pick: Option<(usize, NodeId, u64)> = None; // (idx, node, eff wait)
             for (idx, req) in remaining.iter().enumerate() {
-                assert!(
-                    !req.candidates.is_empty(),
-                    "fragment {} has no replicas to read",
-                    req.fragment
-                );
                 let Some((node, eff)) = req
                     .candidates
                     .iter()
                     .map(|&n| {
-                        let penalty = if chosen.contains(&n) { 0 } else { self.phi };
+                        let penalty = if chosen.contains(&n) { 0 } else { phi };
                         (n, queues.wait(n).saturating_add(penalty))
                     })
                     .min_by_key(|&(n, eff)| (eff, n))
                 else {
-                    unreachable!("candidates asserted nonempty above")
+                    unreachable!("candidates validated nonempty above")
                 };
                 let better = match pick {
                     None => true,
@@ -168,7 +402,6 @@ impl ScanRouter for MaxOfMins {
                 unreachable!("the loop guard keeps `remaining` nonempty")
             };
             let req = remaining.swap_remove(idx);
-            crate::obs_hooks::record("routing.queue_wait_tuples", queues.wait(node));
             queues.enqueue(node, req.size);
             chosen.insert(node);
             out.push(Assignment {
@@ -176,12 +409,7 @@ impl ScanRouter for MaxOfMins {
                 node,
             });
         }
-        record_scan_metrics(&out);
-        out
-    }
-
-    fn name(&self) -> &'static str {
-        "max-of-mins"
+        Ok(out)
     }
 }
 
@@ -223,16 +451,16 @@ impl PowerOfTwoChoices {
 }
 
 impl ScanRouter for PowerOfTwoChoices {
-    fn route(&self, requests: &[FragmentRequest], queues: &mut QueueView) -> Vec<Assignment> {
+    fn route(
+        &self,
+        requests: &[FragmentRequest],
+        queues: &mut QueueView,
+    ) -> Result<Vec<Assignment>, RouteError> {
+        validate_requests(requests)?;
         let mut chosen: HashSet<NodeId> = HashSet::new();
         let out: Vec<Assignment> = requests
             .iter()
             .map(|req| {
-                assert!(
-                    !req.candidates.is_empty(),
-                    "fragment {} has no replicas to read",
-                    req.fragment
-                );
                 let pair: [NodeId; 2] = if req.candidates.len() <= 2 {
                     [req.candidates[0], req.candidates[req.candidates.len() - 1]]
                 } else {
@@ -259,7 +487,7 @@ impl ScanRouter for PowerOfTwoChoices {
             })
             .collect();
         record_scan_metrics(&out);
-        out
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -291,7 +519,7 @@ mod tests {
     fn single_candidate_is_forced() {
         let router = MaxOfMins::new(100);
         let mut q = QueueView::new(2);
-        let out = router.route(&[req(0, 50, &[1])], &mut q);
+        let out = router.route(&[req(0, 50, &[1])], &mut q).unwrap();
         assert_eq!(
             out,
             vec![Assignment {
@@ -310,7 +538,9 @@ mod tests {
         // fan out.
         let router = MaxOfMins::new(1_000);
         let mut q = QueueView::new(2);
-        let out = router.route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 1])], &mut q);
+        let out = router
+            .route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 1])], &mut q)
+            .unwrap();
         assert_eq!(span(&out), 1);
     }
 
@@ -318,7 +548,9 @@ mod tests {
     fn zero_penalty_spreads_load() {
         let router = MaxOfMins::new(0);
         let mut q = QueueView::new(2);
-        let out = router.route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 1])], &mut q);
+        let out = router
+            .route(&[req(0, 10, &[0, 1]), req(1, 10, &[0, 1])], &mut q)
+            .unwrap();
         assert_eq!(span(&out), 2);
     }
 
@@ -328,7 +560,9 @@ mod tests {
         // go to node 1 rather than queue behind it.
         let router = MaxOfMins::new(50);
         let mut q = QueueView::new(2);
-        let out = router.route(&[req(0, 1_000, &[0, 1]), req(1, 1_000, &[0, 1])], &mut q);
+        let out = router
+            .route(&[req(0, 1_000, &[0, 1]), req(1, 1_000, &[0, 1])], &mut q)
+            .unwrap();
         assert_eq!(span(&out), 2);
         assert_ne!(node_of(&out, 0), node_of(&out, 1));
     }
@@ -340,7 +574,9 @@ mod tests {
         // first, and fragment 1 should then avoid stacking behind it.
         let router = MaxOfMins::new(0);
         let mut q = QueueView::from_waits(vec![500, 0]);
-        let out = router.route(&[req(1, 10, &[0, 1]), req(0, 10, &[0])], &mut q);
+        let out = router
+            .route(&[req(1, 10, &[0, 1]), req(0, 10, &[0])], &mut q)
+            .unwrap();
         assert_eq!(node_of(&out, 0), NodeId(0));
         assert_eq!(node_of(&out, 1), NodeId(1));
         // Bottleneck-first: fragment 0 appears before fragment 1.
@@ -353,14 +589,16 @@ mod tests {
         // read must see the first two queued and pick the emptier node.
         let router = MaxOfMins::new(0);
         let mut q = QueueView::new(2);
-        let out = router.route(
-            &[
-                req(0, 100, &[0, 1]),
-                req(1, 100, &[0, 1]),
-                req(2, 100, &[0, 1]),
-            ],
-            &mut q,
-        );
+        let out = router
+            .route(
+                &[
+                    req(0, 100, &[0, 1]),
+                    req(1, 100, &[0, 1]),
+                    req(2, 100, &[0, 1]),
+                ],
+                &mut q,
+            )
+            .unwrap();
         let w0 = q.wait(NodeId(0));
         let w1 = q.wait(NodeId(1));
         assert_eq!(w0 + w1, 300);
@@ -369,18 +607,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no replicas")]
-    fn empty_candidates_panics() {
-        let router = MaxOfMins::new(0);
+    fn empty_candidates_is_a_typed_error() {
+        let bad = FragmentRequest {
+            fragment: FragmentId(7),
+            size: 1,
+            candidates: vec![],
+        };
         let mut q = QueueView::new(1);
-        let _ = router.route(
-            &[FragmentRequest {
-                fragment: FragmentId(0),
-                size: 1,
-                candidates: vec![],
-            }],
-            &mut q,
+        let err = MaxOfMins::new(0)
+            .route(std::slice::from_ref(&bad), &mut q)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::NoReplicas {
+                fragment: FragmentId(7)
+            }
         );
+        assert!(err.to_string().contains("no replicas"));
+        // Validation is up-front: nothing was enqueued.
+        assert_eq!(q.wait(NodeId(0)), 0);
+        // Same contract for the stochastic router and the reference.
+        let err2 = PowerOfTwoChoices::new(0, 1)
+            .route(std::slice::from_ref(&bad), &mut q)
+            .unwrap_err();
+        assert_eq!(err, err2);
+        let err3 = reference::max_of_mins(0, std::slice::from_ref(&bad), &mut q).unwrap_err();
+        assert_eq!(err, err3);
+    }
+
+    #[test]
+    fn error_is_detected_before_any_placement() {
+        // A routable request ahead of an unroutable one: validate-once
+        // means the queue stays untouched rather than half-routed.
+        let router = MaxOfMins::new(0);
+        let mut q = QueueView::new(2);
+        let reqs = [
+            req(0, 100, &[0, 1]),
+            FragmentRequest {
+                fragment: FragmentId(1),
+                size: 5,
+                candidates: vec![],
+            },
+        ];
+        assert!(router.route(&reqs, &mut q).is_err());
+        assert_eq!(q.wait(NodeId(0)) + q.wait(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn enqueue_saturates_at_u64_max() {
+        // Regression: enqueue used unchecked `+=` while every read path
+        // saturated; a near-MAX wait plus a large read panicked in debug
+        // builds instead of pinning at MAX.
+        let mut q = QueueView::from_waits(vec![u64::MAX - 10]);
+        q.enqueue(NodeId(0), u64::MAX);
+        assert_eq!(q.wait(NodeId(0)), u64::MAX);
+        q.enqueue(NodeId(0), 1);
+        assert_eq!(q.wait(NodeId(0)), u64::MAX);
+        // And the router survives routing onto a saturated queue.
+        let out = MaxOfMins::new(u64::MAX)
+            .route(&[req(0, u64::MAX, &[0]), req(1, u64::MAX, &[0])], &mut q)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(q.wait(NodeId(0)), u64::MAX);
     }
 
     #[test]
@@ -394,7 +682,45 @@ mod tests {
                 req(1, 10, &[0, 1, 2]),
                 req(2, 10, &[0, 1, 2]),
             ];
-            assert_eq!(router.route(&reqs, &mut q1), router.route(&reqs, &mut q2));
+            assert_eq!(
+                router.route(&reqs, &mut q1).unwrap(),
+                router.route(&reqs, &mut q2).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_dense_scans() {
+        // A deterministic non-random sweep; the property tests cover random
+        // instances, this pins a few structured ones (all-shared, disjoint,
+        // chained candidate sets, preloaded queues).
+        let cases: Vec<(Vec<FragmentRequest>, Vec<u64>)> = vec![
+            (
+                (0..12).map(|i| req(i, 10 + i, &[0, 1, 2, 3])).collect(),
+                vec![0; 4],
+            ),
+            (
+                (0..8).map(|i| req(i, 100, &[i % 4])).collect(),
+                vec![50, 0, 900, 3],
+            ),
+            (
+                (0..10)
+                    .map(|i| req(i, 7 * i + 1, &[i % 5, (i + 1) % 5]))
+                    .collect(),
+                vec![10, 20, 30, 40, 0],
+            ),
+        ];
+        for phi in [0, 35, 100_000] {
+            for (reqs, waits) in &cases {
+                let mut q1 = QueueView::from_waits(waits.clone());
+                let mut q2 = QueueView::from_waits(waits.clone());
+                let fast = MaxOfMins::new(phi).route(reqs, &mut q1).unwrap();
+                let naive = reference::max_of_mins(phi, reqs, &mut q2).unwrap();
+                assert_eq!(fast, naive, "phi {phi}");
+                for n in 0..waits.len() {
+                    assert_eq!(q1.wait(NodeId(n as u64)), q2.wait(NodeId(n as u64)));
+                }
+            }
         }
     }
 
@@ -405,7 +731,7 @@ mod tests {
         let reqs: Vec<FragmentRequest> = (0..32)
             .map(|i| req(i, 50, &[i % 8, (i + 3) % 8, (i + 5) % 8]))
             .collect();
-        let out = router.route(&reqs, &mut q);
+        let out = router.route(&reqs, &mut q).unwrap();
         assert_eq!(out.len(), 32);
         for (a, r) in out.iter().zip(&reqs) {
             assert!(r.candidates.contains(&a.node));
@@ -421,7 +747,7 @@ mod tests {
         let route_with = |seed: u64| {
             let router = PowerOfTwoChoices::new(0, seed);
             let mut q = QueueView::new(5);
-            router.route(&reqs, &mut q)
+            router.route(&reqs, &mut q).unwrap()
         };
         assert_eq!(route_with(1), route_with(1));
         assert_ne!(route_with(1), route_with(2));
@@ -432,7 +758,7 @@ mod tests {
         let router = PowerOfTwoChoices::new(0, 3);
         let mut q = QueueView::from_waits(vec![1_000_000, 0]);
         // Only two candidates: the pair is forced, so it must pick node 1.
-        let out = router.route(&[req(0, 10, &[0, 1])], &mut q);
+        let out = router.route(&[req(0, 10, &[0, 1])], &mut q).unwrap();
         assert_eq!(out[0].node, NodeId(1));
     }
 

@@ -65,6 +65,52 @@ struct TableState {
     fragmenter: GreedyFragmenter,
 }
 
+/// One table's slice of the fragmentation stage: value chunks -> greedy (or
+/// exact DP) fragmentation -> disk-fit split -> per-fragment statistics.
+/// Stats come back with table-local ids; the caller re-identifies them
+/// globally. Runs on a fan-out worker thread, so it takes everything it
+/// needs by argument and touches no distributor state beyond its table.
+fn table_fragments(
+    cfg: &NashDbConfig,
+    converged: bool,
+    t_idx: usize,
+    t: &mut TableState,
+) -> Vec<FragmentStats> {
+    let chunks = {
+        let _chunks = nashdb_obs::span("value_chunks");
+        t.estimator.chunks(t.tuples)
+    };
+    let rounds = if converged {
+        cfg.greedy_rounds
+    } else {
+        cfg.greedy_rounds.max(24 * cfg.max_frags_per_table)
+    };
+    let frag = if cfg.use_optimal_fragmentation {
+        optimal_fragmentation(&chunks, cfg.max_frags_per_table)
+    } else {
+        t.fragmenter.run(&chunks, rounds);
+        t.fragmenter.fragmentation()
+    };
+    #[cfg(feature = "invariant-audit")]
+    {
+        let audit = nashdb_core::audit::audit_value_tree(&t.estimator);
+        assert!(
+            audit.is_ok(),
+            "table {t_idx} value-tree audit failed: {audit:?}"
+        );
+        let audit =
+            nashdb_core::audit::audit_fragmentation(&frag, &chunks, cfg.max_frags_per_table);
+        assert!(
+            audit.is_ok(),
+            "table {t_idx} fragmentation audit failed: {audit:?}"
+        );
+    }
+    #[cfg(not(feature = "invariant-audit"))]
+    let _ = t_idx;
+    let frag = split_oversized(&frag, cfg.spec.disk.min(cfg.max_fragment_tuples.max(1)));
+    fragment_stats(&frag, &chunks)
+}
+
 /// The NashDB system: per-table tuple value estimators and fragmenters, plus
 /// the economic replication manager.
 pub struct NashDbDistributor {
@@ -367,50 +413,26 @@ impl Distributor for NashDbDistributor {
             .with_max_replicas(self.cfg.max_replicas);
 
         // Per table: value chunks -> fragmentation -> disk-fit split ->
-        // fragment statistics, re-identified globally.
+        // fragment statistics, re-identified globally. Tables are
+        // independent (separate estimators and fragmenters), so the stage
+        // fans out across cores; worker metrics are captured per table via
+        // `nashdb_obs::fork` and absorbed in table order below, which is
+        // exactly the order the serial loop recorded them in — same-seed
+        // runs stay byte-identical under `scrub_timings` at any core count.
         let fragment_span = nashdb_obs::span("fragment");
+        let cfg = self.cfg;
+        let converged = self.converged;
+        let fork = nashdb_obs::fork();
+        let per_table = nashdb_par::map_mut(&mut self.tables, 1, |t_idx, t| {
+            fork.run(|| table_fragments(&cfg, converged, t_idx, t))
+        });
         let mut globals: Vec<GlobalFragment> = Vec::new();
         let mut stats: Vec<FragmentStats> = Vec::new();
-        for (t_idx, t) in self.tables.iter_mut().enumerate() {
-            let chunks = {
-                let _chunks = nashdb_obs::span("value_chunks");
-                t.estimator.chunks(t.tuples)
-            };
-            let rounds = if self.converged {
-                self.cfg.greedy_rounds
-            } else {
-                self.cfg
-                    .greedy_rounds
-                    .max(24 * self.cfg.max_frags_per_table)
-            };
-            let frag = if self.cfg.use_optimal_fragmentation {
-                optimal_fragmentation(&chunks, self.cfg.max_frags_per_table)
-            } else {
-                t.fragmenter.run(&chunks, rounds);
-                t.fragmenter.fragmentation()
-            };
-            #[cfg(feature = "invariant-audit")]
-            {
-                let audit = nashdb_core::audit::audit_value_tree(&t.estimator);
-                assert!(
-                    audit.is_ok(),
-                    "table {t_idx} value-tree audit failed: {audit:?}"
-                );
-                let audit = nashdb_core::audit::audit_fragmentation(
-                    &frag,
-                    &chunks,
-                    self.cfg.max_frags_per_table,
-                );
-                assert!(
-                    audit.is_ok(),
-                    "table {t_idx} fragmentation audit failed: {audit:?}"
-                );
+        for (t_idx, (table_stats, metrics)) in per_table.into_iter().enumerate() {
+            if let Some(m) = metrics {
+                nashdb_obs::absorb(&m);
             }
-            let frag = split_oversized(
-                &frag,
-                self.cfg.spec.disk.min(self.cfg.max_fragment_tuples.max(1)),
-            );
-            for s in fragment_stats(&frag, &chunks) {
+            for s in table_stats {
                 let global_id = FragmentId(globals.len() as u64);
                 globals.push(GlobalFragment {
                     table: nashdb_core::ids::TableId(t_idx as u64),

@@ -102,22 +102,32 @@ pub fn run_workload(
                 let _query = nashdb_obs::span("query");
                 distributor.observe(&query);
                 let requests = scheme.requests_for_query(&query);
-                let sizes: std::collections::HashMap<_, _> =
-                    requests.iter().map(|r| (r.fragment, r.size)).collect();
+                // Fragment ids are dense scheme indices; a flat size table
+                // replaces the old per-query HashMap on this hot path.
+                let mut sizes: Vec<u64> = vec![0; scheme.fragments().len()];
+                for r in &requests {
+                    sizes[r.fragment.index()] = r.size;
+                }
                 let mut queues = QueueView::from_waits(sim.queue_waits());
                 let assignments = {
                     let _route = nashdb_obs::span("route");
-                    router.route(&requests, &mut queues)
+                    // Scheme construction guarantees every fragment has a
+                    // replica, so an unroutable request is a driver bug —
+                    // keep the historical fail-fast behavior.
+                    match router.route(&requests, &mut queues) {
+                        Ok(a) => a,
+                        Err(e) => unreachable!("scheme left a request unroutable: {e}"),
+                    }
                 };
+                assert_eq!(
+                    assignments.len(),
+                    requests.len(),
+                    "router dropped or invented a request"
+                );
                 let reads: Vec<(NodeId, u64)> = assignments
                     .iter()
-                    .filter_map(|a| sizes.get(&a.fragment).map(|&s| (a.node, s)))
+                    .map(|a| (a.node, sizes[a.fragment.index()]))
                     .collect();
-                assert_eq!(
-                    reads.len(),
-                    assignments.len(),
-                    "router assigned an unknown fragment"
-                );
                 let dispatched = sim.dispatch(id, &reads);
                 assert!(
                     dispatched.is_ok(),

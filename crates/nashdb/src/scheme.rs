@@ -148,20 +148,25 @@ impl DistScheme {
     /// All fragment requests for a query, deduplicated: two scans touching
     /// the same fragment issue one request whose size is the summed overlap
     /// (capped at the fragment size — overlapping scans do not re-read).
+    ///
+    /// Fragment ids are dense indices into this scheme, so deduplication is
+    /// a flat scratch table (one slot per fragment) rather than a hash map:
+    /// the fill is a memset and every lookup in the per-query hot path is a
+    /// bounds-checked index.
     pub fn requests_for_query(&self, query: &QueryRequest) -> Vec<FragmentRequest> {
-        let mut index: HashMap<FragmentId, usize> = HashMap::new();
+        const UNSEEN: usize = usize::MAX;
+        let mut slot_of: Vec<usize> = vec![UNSEEN; self.fragments.len()];
         let mut out: Vec<FragmentRequest> = Vec::new();
         for scan in &query.scans {
             for req in self.requests_for_scan(scan) {
-                match index.get(&req.fragment) {
-                    Some(&i) => {
-                        let cap = self.fragments[usize_from(req.fragment.get())].range.size();
-                        out[i].size = (out[i].size + req.size).min(cap);
-                    }
-                    None => {
-                        index.insert(req.fragment, out.len());
-                        out.push(req);
-                    }
+                let f = usize_from(req.fragment.get());
+                if slot_of[f] == UNSEEN {
+                    slot_of[f] = out.len();
+                    out.push(req);
+                } else {
+                    let i = slot_of[f];
+                    let cap = self.fragments[f].range.size();
+                    out[i].size = (out[i].size + req.size).min(cap);
                 }
             }
         }

@@ -1,0 +1,237 @@
+//! # nashdb-par
+//!
+//! Dependency-free scoped-thread fan-out for the NashDB reproduction.
+//!
+//! The build environment is fully offline, so rayon is unavailable; this
+//! crate provides the tiny slice of data parallelism the pipeline actually
+//! needs — "map this independent per-item work across cores" — on plain
+//! [`std::thread::scope`]. Three properties are guaranteed:
+//!
+//! * **Deterministic merge order.** Results come back in item order,
+//!   regardless of which worker finished first, so same-seed runs stay
+//!   byte-identical whether they ran on 1 core or 64.
+//! * **Panic propagation.** A panic on a worker thread is re-raised on the
+//!   calling thread via [`std::panic::resume_unwind`], preserving the
+//!   payload — invariant-audit assertions keep working under fan-out.
+//! * **Serial fast path.** Work smaller than the caller's `min_chunk`
+//!   threshold (or a single-core host) runs inline with zero thread spawns,
+//!   so small reconfigurations pay nothing for the capability.
+//!
+//! Workers are spawned per call. The pipeline fans out a handful of times
+//! per reconfiguration period (once per stage), so spawn cost is noise next
+//! to the work; a persistent pool would buy nothing but shutdown hazards.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a fan-out may use: the machine's available
+/// parallelism, floored at 1 (the query if the host refuses to answer).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// How many workers to use for `len` items when each worker should hold at
+/// least `min_chunk` items: 0 or 1 means "run serially".
+fn worker_count(len: usize, min_chunk: usize) -> usize {
+    let min_chunk = min_chunk.max(1);
+    (len / min_chunk).min(max_threads())
+}
+
+/// Splits `len` items into `workers` contiguous chunks whose sizes differ by
+/// at most one, returned as `(start, end)` index pairs.
+fn chunk_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let base = len / workers;
+    let extra = len % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Joins a scoped worker, re-raising its panic on the caller.
+fn join<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Maps `f` over `items` (with each item's index), fanning out across
+/// threads when there are at least `min_chunk` items per worker to justify
+/// the spawns. Results are returned in item order.
+pub fn map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = worker_count(items.len(), min_chunk);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let bounds = chunk_bounds(items.len(), workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
+                let chunk = &items[start..end];
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(off, t)| f(start + off, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(join(h));
+        }
+        out
+    })
+}
+
+/// Like [`map`] but over mutable items, for per-item state machines (one
+/// fragmenter per table, say) that each worker advances independently.
+pub fn map_mut<T, R, F>(items: &mut [T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let workers = worker_count(items.len(), min_chunk);
+    if workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let bounds = chunk_bounds(items.len(), workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = items;
+        let mut consumed = 0;
+        for &(start, end) in &bounds {
+            let (chunk, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(off, t)| f(start + off, t))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        let mut out = Vec::with_capacity(bounds.last().map_or(0, |&(_, e)| e));
+        for h in handles {
+            out.extend(join(h));
+        }
+        out
+    })
+}
+
+/// Builds a `Vec` of `len` values where element `i` is `f(i)` — the
+/// "parallelize this independent loop" primitive (a DP layer, a per-index
+/// table fill). Fan-out rules are as in [`map`].
+pub fn fill<R, F>(len: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(len, min_chunk);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let bounds = chunk_bounds(len, workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| scope.spawn(move || (start..end).map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(join(h));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_granularity() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for min_chunk in [1, 7, 100, 10_000] {
+            let parallel = map(&items, min_chunk, |_, &x| x * 3 + 1);
+            assert_eq!(parallel, serial, "min_chunk {min_chunk}");
+        }
+    }
+
+    #[test]
+    fn map_passes_global_indices() {
+        let items = vec![(); 503];
+        let idxs = map(&items, 1, |i, ()| i);
+        assert_eq!(idxs, (0..503).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_once() {
+        let mut items: Vec<u64> = vec![0; 257];
+        let out = map_mut(&mut items, 1, |i, slot| {
+            *slot += 1;
+            i as u64
+        });
+        assert!(items.iter().all(|&x| x == 1));
+        assert_eq!(out, (0..257).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fill_matches_serial_construction() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        assert_eq!(fill(97, 1, |i| i * i), serial);
+        assert_eq!(fill(97, 1000, |i| i * i), serial);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        assert_eq!(map(&[] as &[u8], 1, |_, &x| x), Vec::<u8>::new());
+        assert_eq!(fill(0, 1, |i| i), Vec::<usize>::new());
+        assert_eq!(map(&[5u8], 1, |_, &x| x), vec![5]);
+    }
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for len in [1usize, 2, 9, 10, 11, 100] {
+            for workers in 1..=8.min(len) {
+                let bounds = chunk_bounds(len, workers);
+                assert_eq!(bounds.first().map(|b| b.0), Some(0));
+                assert_eq!(bounds.last().map(|b| b.1), Some(len));
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            map(&items, 1, |i, _| {
+                assert!(i != 40, "boom at {i}");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

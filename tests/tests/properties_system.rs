@@ -6,7 +6,8 @@ use nashdb_baselines::{GreedySetCover, ShortestQueue};
 use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, QueryRequest, ScanRange};
 use nashdb_core::ids::{FragmentId, NodeId, TableId};
 use nashdb_core::routing::{
-    Assignment, FragmentRequest, MaxOfMins, PowerOfTwoChoices, QueueView, ScanRouter,
+    reference, Assignment, FragmentRequest, MaxOfMins, PowerOfTwoChoices, QueueView, RouteError,
+    ScanRouter,
 };
 use nashdb_core::transition::{plan_transition, IntervalSet};
 use nashdb_sim::{SimDuration, SimTime};
@@ -48,7 +49,15 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
 
 fn check_router(router: &dyn ScanRouter, p: &Problem) -> Result<(), TestCaseError> {
     let mut queues = QueueView::from_waits(p.waits.clone());
-    let out: Vec<Assignment> = router.route(&p.requests, &mut queues);
+    let out: Vec<Assignment> = match router.route(&p.requests, &mut queues) {
+        Ok(out) => out,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "router {} errored: {e}",
+                router.name()
+            )))
+        }
+    };
     // Every request assigned exactly once, to one of its candidates.
     prop_assert_eq!(out.len(), p.requests.len(), "router {}", router.name());
     for req in &p.requests {
@@ -84,7 +93,7 @@ proptest! {
     #[test]
     fn max_of_mins_makespan_bounded(p in arb_problem()) {
         let mut queues = QueueView::from_waits(p.waits.clone());
-        let _ = MaxOfMins::new(0).route(&p.requests, &mut queues);
+        let _ = MaxOfMins::new(0).route(&p.requests, &mut queues).unwrap();
         let max_after = (0..p.waits.len())
             .map(|n| queues.wait(NodeId(n as u64)))
             .max()
@@ -92,6 +101,45 @@ proptest! {
         let total: u64 = p.requests.iter().map(|r| r.size).sum();
         let max_before = *p.waits.iter().max().unwrap();
         prop_assert!(max_after <= max_before + total);
+    }
+
+    /// The incremental Max-of-mins router is an exact optimization: for any
+    /// problem (varied ϕ, candidate lists, pre-loaded queues) it produces
+    /// the same assignments, in the same order, with the same final queue
+    /// state, as the naive Eq. 11 reference loop it replaced.
+    #[test]
+    fn max_of_mins_matches_naive_reference(p in arb_problem(), phi in 0u64..200_000) {
+        let mut fast_q = QueueView::from_waits(p.waits.clone());
+        let mut ref_q = QueueView::from_waits(p.waits.clone());
+        let fast = MaxOfMins::new(phi).route(&p.requests, &mut fast_q).unwrap();
+        let naive = reference::max_of_mins(phi, &p.requests, &mut ref_q).unwrap();
+        prop_assert_eq!(&fast, &naive, "phi {}", phi);
+        for n in 0..p.waits.len() {
+            let n = NodeId(n as u64);
+            prop_assert_eq!(fast_q.wait(n), ref_q.wait(n));
+        }
+    }
+
+    /// Any request with an empty candidate list is rejected up front as a
+    /// typed error by every router, before any queue mutation.
+    #[test]
+    fn routers_reject_unroutable_requests(p in arb_problem(), hole in 0usize..1024) {
+        let mut reqs = p.requests.clone();
+        let victim = hole % reqs.len();
+        reqs[victim].candidates.clear();
+        let expected = RouteError::NoReplicas { fragment: reqs[victim].fragment };
+        for router in [
+            &MaxOfMins::new(50_000) as &dyn ScanRouter,
+            &ShortestQueue,
+            &GreedySetCover,
+            &PowerOfTwoChoices::new(50_000, 9),
+        ] {
+            let mut queues = QueueView::from_waits(p.waits.clone());
+            prop_assert_eq!(router.route(&reqs, &mut queues), Err(expected));
+            for n in 0..p.waits.len() {
+                prop_assert_eq!(queues.wait(NodeId(n as u64)), p.waits[n]);
+            }
+        }
     }
 }
 
