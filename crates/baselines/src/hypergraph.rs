@@ -278,7 +278,7 @@ impl Distributor for HypergraphDistributor {
             let size = fragments[f].range.size();
             if node_used[n] + size <= self.disk && !nodes[n].contains(&f) {
                 nodes[n].push(f);
-                node_used[n] += size;
+                node_used[n] = node_used[n].saturating_add(size);
             }
         }
 

@@ -203,7 +203,7 @@ impl Distributor for ThresholdDistributor {
                     );
                 }
                 node_frags[node].push(i);
-                node_used[node] += size;
+                node_used[node] = node_used[node].saturating_add(size);
                 cum += size;
             }
         }
@@ -222,7 +222,7 @@ impl Distributor for ThresholdDistributor {
                 match slot {
                     Some(n) => {
                         node_frags[n].push(i);
-                        node_used[n] += size;
+                        node_used[n] = node_used[n].saturating_add(size);
                     }
                     None => break,
                 }

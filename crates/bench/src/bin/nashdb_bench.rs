@@ -6,12 +6,15 @@
 //! nashdb-bench smoke --stable        # scrub wall-clock for byte-stable output
 //! nashdb-bench perf --obs-out BENCH_PR.json
 //! nashdb-bench validate BENCH_PR.json
+//! nashdb-bench compare BENCH_PERF.json BENCH_BASELINE.json
 //! ```
 //!
-//! Exit codes: 0 success, 1 validation/coverage failure, 2 usage error.
+//! Exit codes: 0 success, 1 validation/coverage/regression failure, 2 usage
+//! error.
 
 use std::process::exit;
 
+use nashdb_bench::compare::{compare, DEFAULT_MAX_REGRESSION};
 use nashdb_bench::perf::{perf_snapshot, PerfConfig, PERF_STAGES};
 use nashdb_bench::smoke::{run_smoke, SmokeConfig, REQUIRED_STAGES};
 use nashdb_obs::ObsSnapshot;
@@ -30,6 +33,10 @@ USAGE:
                                    (perf snapshots are recognized by their
                                    kind=perf label and checked against the
                                    perf schema)
+  nashdb-bench compare CURRENT BASELINE
+                                   diff the optimized-path timing gauges of
+                                   two perf snapshots; fail if any tracked
+                                   gauge regressed beyond the allowance
 
 SMOKE OPTIONS:
   --seed N          workload RNG seed (default 42)
@@ -47,7 +54,15 @@ PERF OPTIONS:
   --min-routing-speedup X
                     fail (exit 1) if the incremental router is not at
                     least X times faster than the naive reference
+  --best-of N       repeat the whole suite N times, keep each gauge's
+                    minimum (default 1; CI uses 3 — the minimum is the
+                    stable estimator on contended shared runners)
   --obs-out FILE    write the JSON snapshot here (default: BENCH_PR.json)
+
+COMPARE OPTIONS:
+  --max-regression X
+                    allowed fractional slowdown per tracked gauge before
+                    the gate fails (default 0.25)
 
   -h, --help        this text
 ";
@@ -106,6 +121,7 @@ fn main() {
         "smoke" => smoke(args),
         "perf" => perf(args),
         "validate" => validate(args),
+        "compare" => compare_cmd(args),
         other => die(&format!("unknown subcommand {other:?}")),
     }
 }
@@ -164,8 +180,12 @@ fn perf(mut args: Args) {
         fragments: args.parse("--fragments").unwrap_or(64),
         nodes: args.parse("--nodes").unwrap_or(16),
         scans: args.parse("--scans").unwrap_or(400),
+        best_of: args.parse("--best-of").unwrap_or(1),
         ..PerfConfig::default()
     };
+    if cfg.best_of == 0 {
+        die("--best-of must be at least 1");
+    }
     let min_speedup: Option<f64> = args.parse("--min-routing-speedup");
     let out = args
         .value("--obs-out")
@@ -198,6 +218,76 @@ fn perf(mut args: Args) {
         fail(&format!("writing {out}: {e}"));
     }
     eprintln!("snapshot written to {out}");
+}
+
+fn load_snapshot(path: &str) -> ObsSnapshot {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => fail(&format!("reading {path}: {e}")),
+    };
+    match ObsSnapshot::from_json_str(&raw) {
+        Ok(snap) => snap,
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn compare_cmd(mut args: Args) {
+    let max_regression: f64 = args
+        .parse("--max-regression")
+        .unwrap_or(DEFAULT_MAX_REGRESSION);
+    if args.0.len() != 2 {
+        die("compare takes exactly two arguments: CURRENT BASELINE");
+    }
+    let current_path = args.0.remove(0);
+    let baseline_path = args.0.remove(0);
+    let current = load_snapshot(&current_path);
+    let baseline = load_snapshot(&baseline_path);
+
+    let report = match compare(&current, &baseline) {
+        Ok(report) => report,
+        Err(e) => fail(&format!("{current_path} vs {baseline_path}: {e}")),
+    };
+    for d in &report.deltas {
+        eprintln!(
+            "  {:<32} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)",
+            d.name,
+            d.baseline_ns,
+            d.current_ns,
+            d.change * 100.0
+        );
+    }
+    for d in report.improvements(max_regression) {
+        eprintln!(
+            "note: {} is {:.0}% faster than the baseline — consider refreshing {}",
+            d.name,
+            -d.change * 100.0,
+            baseline_path
+        );
+    }
+    let regressions = report.regressions(max_regression);
+    if !regressions.is_empty() {
+        for d in &regressions {
+            eprintln!(
+                "REGRESSION: {} went from {:.0} ns to {:.0} ns ({:+.1}%, allowed {:+.0}%)",
+                d.name,
+                d.baseline_ns,
+                d.current_ns,
+                d.change * 100.0,
+                max_regression * 100.0
+            );
+        }
+        fail(&format!(
+            "{} tracked gauge(s) regressed beyond {:.0}%",
+            regressions.len(),
+            max_regression * 100.0
+        ));
+    }
+    eprintln!(
+        "compare ok: {} tracked gauges within {:.0}% of {}",
+        report.deltas.len(),
+        max_regression * 100.0,
+        baseline_path
+    );
 }
 
 fn validate(mut args: Args) {

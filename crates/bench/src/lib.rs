@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compare;
 pub mod env;
 pub mod experiments;
 pub mod perf;

@@ -50,6 +50,12 @@ pub struct PerfConfig {
     /// enough (`>` the fragmenter's parallel-layer threshold) that the DP's
     /// fan-out path is what gets timed.
     pub dp_chunks: usize,
+    /// Whole-suite repetitions; the report keeps each gauge's minimum.
+    /// The minimum is the stable estimator on contended runners — noise is
+    /// one-sided (co-tenants only ever make a pass *slower*) — and the
+    /// `compare` trajectory gate needs run-to-run stability well inside its
+    /// 25% allowance, so CI runs with `--best-of 3`.
+    pub best_of: usize,
 }
 
 impl Default for PerfConfig {
@@ -61,6 +67,7 @@ impl Default for PerfConfig {
             replicas: 4,
             scans: 400,
             dp_chunks: 1_200,
+            best_of: 1,
         }
     }
 }
@@ -98,22 +105,43 @@ pub struct PerfReport {
     pub packing_bffd_ns: f64,
 }
 
-/// Best-of-3 wall-clock timing of `iters` runs of `f`, reported as
+/// Best-of-3 wall-clock timing of batched runs of `f`, reported as
 /// nanoseconds per iteration. `f`'s result is fed to [`std::hint::black_box`]
 /// so the measured work cannot be optimized away.
+///
+/// `iters` is only the *starting* batch size: the batch grows until one
+/// timed pass lasts at least [`MIN_PASS_NS`], because per-iteration figures
+/// taken from a 25 µs pass are timer granularity and scheduler noise — and
+/// `nashdb-bench compare` diffs these numbers across CI runs, so they must
+/// be stable to well under the gate's 25% allowance.
+const MIN_PASS_NS: u128 = 2_000_000;
+
 fn time_per_iter<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
     assert!(iters > 0, "need at least one iteration");
     std::hint::black_box(f()); // warmup
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    let mut iters = iters;
+    loop {
         let start = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());
         }
-        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
-        best = best.min(ns);
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= MIN_PASS_NS {
+            let mut best = elapsed as f64 / iters as f64;
+            for _ in 0..2 {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+            return best;
+        }
+        // Grow toward the target in one step (capped so a mis-measured
+        // first pass cannot explode the batch).
+        let factor = (MIN_PASS_NS / elapsed.max(1)).clamp(2, 1024) as usize;
+        iters = iters.saturating_mul(factor);
     }
-    best
 }
 
 /// The fixed-seed routing problem: `fragments` requests with `replicas`
@@ -260,8 +288,30 @@ fn fragmentation_chunks(cfg: &PerfConfig) -> Vec<Chunk> {
 }
 
 /// Runs every measurement. Call *outside* an [`ObsSession`] so the obs
-/// hooks inside the measured code are inert no-ops.
+/// hooks inside the measured code are inert no-ops. With `cfg.best_of > 1`
+/// the whole suite repeats and each gauge keeps its minimum.
 pub fn run_perf(cfg: &PerfConfig) -> PerfReport {
+    let mut best = run_perf_once(cfg);
+    for _ in 1..cfg.best_of {
+        let next = run_perf_once(cfg);
+        best = PerfReport {
+            routing: min_comparison(best.routing, next.routing),
+            lookup: min_comparison(best.lookup, next.lookup),
+            fragment_dp_ns: best.fragment_dp_ns.min(next.fragment_dp_ns),
+            packing_bffd_ns: best.packing_bffd_ns.min(next.packing_bffd_ns),
+        };
+    }
+    best
+}
+
+fn min_comparison(a: Comparison, b: Comparison) -> Comparison {
+    Comparison {
+        reference_ns: a.reference_ns.min(b.reference_ns),
+        optimized_ns: a.optimized_ns.min(b.optimized_ns),
+    }
+}
+
+fn run_perf_once(cfg: &PerfConfig) -> PerfReport {
     let routing = measure_routing(cfg);
 
     let stats = fragment_problem(cfg);

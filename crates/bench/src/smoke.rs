@@ -24,6 +24,7 @@ pub const REQUIRED_STAGES: &[&str] = &[
     "transition.",
     "routing.",
     "cluster.",
+    "distributor.",
 ];
 
 /// Smoke-run parameters. The defaults are what CI runs.

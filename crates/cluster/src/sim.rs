@@ -344,7 +344,7 @@ impl ClusterSim {
                                 query: None,
                             },
                         );
-                        total_transfer += transfer;
+                        total_transfer = total_transfer.saturating_add(transfer);
                     }
                 }
                 NodeMove::Provision { new, transfer } => {
@@ -368,7 +368,7 @@ impl ClusterSim {
                                 query: None,
                             },
                         );
-                        total_transfer += transfer;
+                        total_transfer = total_transfer.saturating_add(transfer);
                     }
                 }
                 NodeMove::Decommission { old } => {

@@ -386,7 +386,7 @@ pub fn audit_packing(
                     fragment: fid,
                 });
             }
-            used += d.range.size();
+            used = used.saturating_add(d.range.size());
             *placed.entry(fid).or_insert(0) += 1;
         }
         if used > disk {
@@ -475,7 +475,7 @@ pub fn audit_transition(
                 detail: format!("move {m:?} records {got} tuples, interval difference is {want}"),
             });
         }
-        sum += got;
+        sum = sum.saturating_add(got);
     }
     if !old_seen.iter().all(|&s| s) || !new_seen.iter().all(|&s| s) {
         return Err(AuditError::BrokenMatching {

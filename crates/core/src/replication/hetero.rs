@@ -114,7 +114,7 @@ pub fn ideal_replicas_hetero(
                 return counts;
             }
             counts[c] += 1;
-            total += 1;
+            total = total.saturating_add(1);
             if total == u64::MAX {
                 return counts;
             }

@@ -21,8 +21,6 @@
 pub mod hetero;
 pub mod market;
 
-use std::collections::HashMap;
-
 use crate::economics::{replica_profit, EconomicConfig, FragmentEconomics, NodeSpec};
 use crate::fragment::{FragmentRange, FragmentStats};
 use crate::ids::{FragmentId, NodeId};
@@ -114,7 +112,7 @@ pub fn decide_replicas(
     let mut forced = 0u64;
     for d in &decisions {
         crate::obs_hooks::record("replication.replicas_per_fragment", d.replicas);
-        total_replicas += d.replicas;
+        total_replicas = total_replicas.saturating_add(d.replicas);
         if d.forced {
             forced += 1;
         } else {
@@ -148,6 +146,16 @@ pub enum PackError {
         /// The node disk capacity in tuples.
         disk: u64,
     },
+    /// The fragment statistics are not densely id-ordered (`stats[i].id`
+    /// must equal `i`, as [`crate::fragment::fragment_stats`] produces).
+    /// Dense ids are what let every scheme lookup be a flat `Vec` index
+    /// instead of a hash probe.
+    NonDenseFragmentIds {
+        /// Position in the stats slice where density first breaks.
+        index: usize,
+        /// The id found at that position.
+        found: FragmentId,
+    },
 }
 
 impl std::fmt::Display for PackError {
@@ -161,6 +169,10 @@ impl std::fmt::Display for PackError {
                 f,
                 "fragment {fragment} ({size} tuples) exceeds node disk ({disk} tuples)"
             ),
+            PackError::NonDenseFragmentIds { index, found } => write!(
+                f,
+                "fragment stats are not densely id-ordered: expected f{index} at position {index}, found {found}"
+            ),
         }
     }
 }
@@ -170,48 +182,56 @@ impl std::error::Error for PackError {}
 /// A complete cluster configuration: replica counts plus their assignment
 /// onto the provisioned nodes. Node ids are indices into `nodes`.
 ///
-/// Construction builds an id → decision index and per-node usage totals, so
-/// the per-query lookups ([`hosts`](ClusterScheme::hosts),
+/// Fragment ids are **dense**: construction rejects stats whose ids are not
+/// exactly `0..n` in order (the shape [`crate::fragment::fragment_stats`]
+/// produces), so a fragment id doubles as the index into `decisions` and
+/// `hosts`. Every per-query lookup ([`hosts`](ClusterScheme::hosts),
 /// [`range_of`](ClusterScheme::range_of),
-/// [`node_used`](ClusterScheme::node_used)) are O(1) instead of scanning
-/// `decisions` — `node_used` in particular was a linear scan *per hosted
-/// fragment* before the index existed.
+/// [`node_used`](ClusterScheme::node_used)) is therefore a flat
+/// bounds-checked `Vec` index — no hash probe, no iteration-order hazard.
 #[derive(Debug, Clone)]
 pub struct ClusterScheme {
     /// Policy the scheme was built under.
     pub policy: ReplicationPolicy,
-    /// Per-fragment decisions, ordered by fragment id.
+    /// Per-fragment decisions; `decisions[i].id == FragmentId(i)`.
     pub decisions: Vec<ReplicationDecision>,
     /// For each provisioned node, the fragments it hosts.
     pub nodes: Vec<Vec<FragmentId>>,
-    hosts: HashMap<FragmentId, Vec<NodeId>>,
-    /// Fragment id → index into `decisions`.
-    decision_of: HashMap<FragmentId, usize>,
+    /// Per fragment (dense id index), its hosting nodes in node order.
+    hosts: Vec<Vec<NodeId>>,
     /// Per node, total tuples stored (same order as `nodes`).
     used: Vec<u64>,
 }
 
 impl ClusterScheme {
     /// Builds the full scheme: Eq. 9 replica counts packed by BFFD.
+    ///
+    /// # Errors
+    /// [`PackError::NonDenseFragmentIds`] if `stats[i].id != i` for any
+    /// position, [`PackError::FragmentExceedsDisk`] if a fragment cannot
+    /// fit on any node.
     pub fn build(
         stats: &[FragmentStats],
         policy: ReplicationPolicy,
     ) -> Result<ClusterScheme, PackError> {
+        for (i, s) in stats.iter().enumerate() {
+            if s.id.index() != i {
+                return Err(PackError::NonDenseFragmentIds {
+                    index: i,
+                    found: s.id,
+                });
+            }
+        }
         let decisions = decide_replicas(stats, &policy);
         let nodes = pack_bffd(&decisions, policy.spec.disk)?;
-        let decision_of: HashMap<FragmentId, usize> = decisions
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (d.id, i))
-            .collect();
-        let mut hosts: HashMap<FragmentId, Vec<NodeId>> = HashMap::new();
+        let mut hosts: Vec<Vec<NodeId>> = vec![Vec::new(); decisions.len()];
         let mut used = vec![0u64; nodes.len()];
         for (n, frags) in nodes.iter().enumerate() {
             for &f in frags {
-                hosts.entry(f).or_default().push(NodeId(n as u64));
-                if let Some(&i) = decision_of.get(&f) {
-                    used[n] = used[n].saturating_add(decisions[i].range.size());
-                }
+                // Packing only places fragments it was handed, and density
+                // was checked above, so `f` always indexes in range.
+                hosts[f.index()].push(NodeId(n as u64));
+                used[n] = used[n].saturating_add(decisions[f.index()].range.size());
             }
         }
         Ok(ClusterScheme {
@@ -219,7 +239,6 @@ impl ClusterScheme {
             decisions,
             nodes,
             hosts,
-            decision_of,
             used,
         })
     }
@@ -229,22 +248,21 @@ impl ClusterScheme {
         self.nodes.len()
     }
 
-    /// The nodes hosting a replica of `fragment` (empty if unknown).
+    /// The nodes hosting a replica of `fragment` (empty if unknown). O(1):
+    /// dense ids index straight into the per-fragment host lists.
     pub fn hosts(&self, fragment: FragmentId) -> &[NodeId] {
-        self.hosts.get(&fragment).map_or(&[], Vec::as_slice)
+        self.hosts.get(fragment.index()).map_or(&[], Vec::as_slice)
     }
 
-    /// The tuple range of `fragment`, if it exists in the scheme. O(1) via
-    /// the id → decision index.
+    /// The tuple range of `fragment`, if it exists in the scheme. O(1):
+    /// dense ids index straight into `decisions`.
     pub fn range_of(&self, fragment: FragmentId) -> Option<FragmentRange> {
-        self.decision_of
-            .get(&fragment)
-            .map(|&i| self.decisions[i].range)
+        self.decisions.get(fragment.index()).map(|d| d.range)
     }
 
     /// The full decision for `fragment`, if it exists in the scheme.
     pub fn decision_of(&self, fragment: FragmentId) -> Option<&ReplicationDecision> {
-        self.decision_of.get(&fragment).map(|&i| &self.decisions[i])
+        self.decisions.get(fragment.index())
     }
 
     /// Tuples stored on node `n`. O(1): totals are precomputed at build.
@@ -578,6 +596,26 @@ mod tests {
             assert!(w[0].id < w[1].id, "fragments out of id order");
         }
         assert!(cfg.fragments.iter().all(|f| f.value > 0.0));
+    }
+
+    #[test]
+    fn non_dense_fragment_ids_rejected() {
+        let policy = ReplicationPolicy::new(50, spec());
+        // Gap: first id is 1, not 0.
+        let err = ClusterScheme::build(&[stats(1, 0, 250, 1.0)], policy).unwrap_err();
+        assert!(matches!(
+            err,
+            PackError::NonDenseFragmentIds { index: 0, .. }
+        ));
+        assert!(err.to_string().contains("densely id-ordered"));
+        // Dense set but out of positional order is rejected too: the id must
+        // *be* the index, not merely appear somewhere.
+        let err = ClusterScheme::build(&[stats(1, 250, 500, 1.0), stats(0, 0, 250, 1.0)], policy)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PackError::NonDenseFragmentIds { index: 0, .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! # nashdb-lint
+//!
+//! A workspace-aware determinism & safety linter for the NashDB
+//! reproduction: a lightweight Rust token scanner plus a rule engine that
+//! walks every `crates/*/src` file and enforces project-specific rules
+//! clippy cannot express. Each rule encodes a bug class that actually
+//! shipped (PR 3's postmortems): hash-iteration-order nondeterminism,
+//! unchecked accumulator arithmetic, missing obs no-op twins, off-registry
+//! metric names, and panics in library code.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run -p nashdb-lint -- --workspace --baseline lint-baseline.json
+//! ```
+//!
+//! Pre-existing accepted sites live in the committed ratchet baseline
+//! ([`Baseline`]); intentional sites carry an inline escape with a
+//! mandatory justification:
+//!
+//! ```text
+//! // nashdb-lint: allow(map-iter-order) -- validation-only pass; asserts are order-independent
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use baseline::{Baseline, BaselineError, BaselineOutcome};
+pub use rules::{
+    check_file, Finding, DETERMINISTIC_CRATES, RULE_IDS, SPAN_SEGMENTS, STAGE_PREFIXES,
+};
+pub use source::SourceFile;
+
+use std::path::{Path, PathBuf};
+
+/// Lints one in-memory source file. `path` decides rule applicability (its
+/// crate, whether it is a binary target) and is echoed in findings; use
+/// workspace-relative paths like `crates/core/src/routing.rs`.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    check_file(&SourceFile::new(path, src))
+}
+
+/// Walks `root/crates/*/src/**/*.rs` and lints every file. Findings are
+/// sorted by path then line. Shims, vendored dependencies, and the
+/// integration-test workspace member are out of scope by construction:
+/// only `crates/` is walked.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src_dir = entry?.path().join("src");
+        if src_dir.is_dir() {
+            collect_rs_files(&src_dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_runs_end_to_end() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+";
+        let findings = lint_source("crates/core/src/demo.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "map-iter-order");
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn non_deterministic_crates_skip_map_iter() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+";
+        assert!(lint_source("crates/baselines/src/demo.rs", src).is_empty());
+    }
+}

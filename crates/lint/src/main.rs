@@ -1,0 +1,142 @@
+//! `nashdb-lint` — the CI entry point.
+//!
+//! ```text
+//! nashdb-lint --workspace [--root DIR] [--baseline lint-baseline.json]
+//! nashdb-lint --workspace --write-baseline lint-baseline.json
+//! ```
+//!
+//! Exit codes: 0 clean (modulo baseline), 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use nashdb_lint::{lint_workspace, Baseline, RULE_IDS};
+
+const HELP: &str = "\
+nashdb-lint — workspace determinism & safety linter
+
+USAGE:
+  nashdb-lint --workspace [OPTIONS]
+
+OPTIONS:
+  --root DIR             workspace root (default: current directory)
+  --baseline FILE        ratchet file of accepted legacy findings; the run
+                         fails only on findings beyond the recorded counts
+  --write-baseline FILE  write the current findings as the new baseline
+                         and exit 0
+  --list-rules           print the rule ids and exit
+  -h, --help             this text
+
+Escape contract (preferred over baselining new code):
+  // nashdb-lint: allow(rule-id) -- justification        one site
+  // nashdb-lint: allow-file(rule-id) -- justification   whole file
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nrun with --help for usage");
+    exit(2)
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        die(&format!("{name} requires a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if take_flag(&mut args, "--help") || take_flag(&mut args, "-h") {
+        print!("{HELP}");
+        return;
+    }
+    if take_flag(&mut args, "--list-rules") {
+        for rule in RULE_IDS {
+            println!("{rule}");
+        }
+        return;
+    }
+    let workspace = take_flag(&mut args, "--workspace");
+    let root = take_value(&mut args, "--root").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let baseline_path = take_value(&mut args, "--baseline");
+    let write_baseline = take_value(&mut args, "--write-baseline");
+    if !args.is_empty() {
+        die(&format!("unrecognized arguments: {args:?}"));
+    }
+    if !workspace {
+        die("nothing to do: pass --workspace");
+    }
+    if !root.join("Cargo.toml").is_file() {
+        die(&format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => die(&format!("walking {}: {e}", root.display())),
+    };
+
+    if let Some(path) = write_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&path, baseline.to_json_string()) {
+            die(&format!("writing {path}: {e}"));
+        }
+        eprintln!(
+            "baseline written to {path}: {} findings across {} (rule, file) groups",
+            findings.len(),
+            baseline.len()
+        );
+        return;
+    }
+
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(raw) => match Baseline::from_json_str(&raw) {
+                Ok(b) => b,
+                Err(e) => die(&format!("{path}: {e}")),
+            },
+            Err(e) => die(&format!("reading {path}: {e}")),
+        },
+        None => Baseline::default(),
+    };
+
+    let outcome = baseline.check(&findings);
+    for (rule, file, allowed, actual) in &outcome.stale {
+        eprintln!(
+            "note: stale baseline entry: {file} [{rule}] allows {allowed} but only {actual} \
+             remain — regenerate with --write-baseline to ratchet down"
+        );
+    }
+    if outcome.over.is_empty() {
+        eprintln!(
+            "lint ok: {} findings, all within baseline ({} groups)",
+            findings.len(),
+            baseline.len()
+        );
+        return;
+    }
+    for f in &outcome.over {
+        println!("{f}");
+    }
+    eprintln!(
+        "\nlint FAILED: {} finding(s) beyond the baseline. Fix them, add a justified \
+         `// nashdb-lint: allow(rule) -- why` escape, or (for pre-existing debt only) \
+         regenerate the baseline.",
+        outcome.over.len()
+    );
+    exit(1)
+}

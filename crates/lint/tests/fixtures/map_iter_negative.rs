@@ -1,0 +1,43 @@
+//! Fixture: hash-map uses that must NOT trip `map-iter-order` — sorted or
+//! order-insensitive sinks, BTree collection, membership tests, escaped
+//! sites, and test-only code.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn reduced_sum(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum::<u64>()
+}
+
+pub fn reordered(m: &HashMap<u32, u32>) -> BTreeMap<u32, u32> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u32, u32>>()
+}
+
+pub fn counted(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count()
+}
+
+pub fn extremum(seen: &HashSet<u64>) -> Option<u64> {
+    seen.iter().copied().max()
+}
+
+pub fn membership(m: &HashMap<u32, u32>, k: u32) -> bool {
+    m.contains_key(&k)
+}
+
+pub fn escaped_fold(seen: &HashSet<u64>) -> u64 {
+    let mut out = 0;
+    // nashdb-lint: allow(map-iter-order) -- xor fold is commutative
+    for s in seen {
+        out ^= *s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt(m: &HashMap<u32, u32>) {
+        let _: Vec<u32> = m.values().copied().collect();
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: obs-gated items whose no-op twins exist — nothing here may
+//! trip `obs-fallback-parity`.
+
+#[cfg(feature = "obs")]
+pub fn record_stage(name: &str, value: u64) {
+    nashdb_obs::record(name, value);
+}
+
+#[cfg(not(feature = "obs"))]
+pub fn record_stage(_name: &str, _value: u64) {}
+
+#[cfg(feature = "obs")]
+pub use nashdb_obs::span as stage_span;
+
+#[cfg(not(feature = "obs"))]
+pub fn stage_span(_segment: &str) {}
+
+#[cfg(feature = "obs")]
+pub struct Stopwatch {
+    started: u64,
+}
+
+#[cfg(not(feature = "obs"))]
+pub struct Stopwatch;

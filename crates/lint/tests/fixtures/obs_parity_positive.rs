@@ -1,0 +1,18 @@
+//! Fixture: `#[cfg(feature = "obs")]` items with no `not(...)` twin. The
+//! marked attribute lines must trip `obs-fallback-parity`.
+
+#[cfg(feature = "obs")] //~ obs-fallback-parity
+pub fn emit_hook(name: &str, value: u64) {
+    nashdb_obs::counter_add(name, value);
+}
+
+#[cfg(feature = "obs")] //~ obs-fallback-parity
+pub struct StageGuard {
+    started: u64,
+}
+
+#[cfg(feature = "obs")]
+pub fn paired_hook() {}
+
+#[cfg(not(feature = "obs"))]
+pub fn paired_hook() {}

@@ -1,0 +1,10 @@
+//! Fixture: a file-wide escape. An audit-style module whose entire job is
+//! to assert invariants — zero findings expected.
+// nashdb-lint: allow-file(panic-in-lib) -- invariant-audit module; panicking is its contract
+
+pub fn audit_density(ids: &[u64]) {
+    for (i, id) in ids.iter().enumerate() {
+        assert!(*id == i as u64, "non-dense id at {i}");
+    }
+    assert!(!ids.is_empty(), "empty id space");
+}

@@ -1,0 +1,26 @@
+//! Fixture: panic-adjacent code that must NOT trip `panic-in-lib` —
+//! `debug_assert*` (vanishes in release), test-only asserts, and escaped
+//! documented contracts.
+
+pub fn checked(x: u64) -> u64 {
+    debug_assert!(x > 0, "callers validate x");
+    debug_assert_eq!(x % 2, 0);
+    x
+}
+
+pub fn contract(x: u64) -> u64 {
+    // nashdb-lint: allow(panic-in-lib) -- documented constructor contract; see module docs
+    assert!(x < 1_000, "x out of documented range");
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asserts_fine_in_tests() {
+        assert_eq!(checked(2), 2);
+        assert!(contract(3) == 3);
+    }
+}

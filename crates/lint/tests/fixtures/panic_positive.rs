@@ -1,0 +1,17 @@
+//! Fixture: panicking macros in non-test library code. Every marked line
+//! must trip `panic-in-lib`.
+
+pub fn broken(x: u64) -> u64 {
+    assert!(x > 0, "x must be positive"); //~ panic-in-lib
+    if x == 3 {
+        panic!("three is right out"); //~ panic-in-lib
+    }
+    match x {
+        0 => unreachable!(), //~ panic-in-lib
+        _ => x,
+    }
+}
+
+pub fn later() {
+    todo!() //~ panic-in-lib
+}

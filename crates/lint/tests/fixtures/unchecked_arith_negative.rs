@@ -1,0 +1,50 @@
+//! Fixture: accumulator arithmetic that must NOT trip `unchecked-arith` —
+//! saturating/checked forms, non-accumulator names, non-integer
+//! accumulators, escaped sites, and test-only code.
+
+pub fn safe_spend(sizes: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for s in sizes {
+        total = total.saturating_add(*s);
+    }
+    total
+}
+
+pub fn safe_fill(used: &mut [u64], n: usize, size: u64) {
+    used[n] = used[n].saturating_add(size);
+}
+
+pub fn not_an_accumulator(xs: &[u64]) -> u64 {
+    let mut widgets = 0u64;
+    for x in xs {
+        widgets += *x;
+    }
+    widgets
+}
+
+pub fn float_accumulator(xs: &[f64]) -> f64 {
+    let mut total_f = 0.0f64;
+    for x in xs {
+        total_f += *x;
+    }
+    total_f
+}
+
+pub fn escaped(sizes: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for s in sizes {
+        // nashdb-lint: allow(unchecked-arith) -- sizes are validated < 2^32 upstream
+        total += *s;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut sum = 0u64;
+        sum += 1;
+        assert_eq!(sum, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: unchecked arithmetic on integer accumulators. Every marked line
+//! must trip `unchecked-arith`.
+
+pub fn spend(sizes: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for s in sizes {
+        total += *s; //~ unchecked-arith
+    }
+    total
+}
+
+pub fn fill(used: &mut [u64], n: usize, size: u64) {
+    used[n] += size; //~ unchecked-arith
+}
+
+pub fn fold(xs: &[u64]) -> u64 {
+    let mut sum: u64 = 0;
+    for x in xs {
+        sum = sum + x; //~ unchecked-arith
+    }
+    sum
+}
+
+pub fn scale(count: usize, factor: usize) -> usize {
+    let mut count = count;
+    count *= factor; //~ unchecked-arith
+    count
+}

@@ -285,7 +285,7 @@ impl NashDbDistributor {
                 match slot {
                     Some(n) => {
                         self.placement[n].push(k);
-                        used[n] += size;
+                        used[n] = used[n].saturating_add(size);
                         // The reclaimed overlap is no longer "lost" there.
                         if let Some(pos) = removed[n].iter().position(|r| overlap(r, &k) > 0) {
                             removed[n].swap_remove(pos);
@@ -331,7 +331,7 @@ impl NashDbDistributor {
             if ok {
                 for (m, k) in moves {
                     self.placement[m].push(k);
-                    used[m] += size_of(&k);
+                    used[m] = used[m].saturating_add(size_of(&k));
                 }
                 self.placement[n].clear();
                 used[n] = 0;

@@ -76,7 +76,7 @@ impl Histogram {
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_index(value)] += 1;
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
@@ -116,7 +116,7 @@ impl Histogram {
         for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
             *b += o;
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }

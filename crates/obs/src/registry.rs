@@ -65,7 +65,7 @@ impl MetricsRegistry {
     /// Adds one completed span occurrence to the named span path.
     pub fn span_add(&mut self, path: &str, elapsed_ns: u64, child_ns: u64) {
         let stat = self.spans.entry(path.to_owned()).or_default();
-        stat.count += 1;
+        stat.count = stat.count.saturating_add(1);
         stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
         stat.child_ns = stat.child_ns.saturating_add(child_ns);
     }
@@ -132,7 +132,7 @@ impl MetricsRegistry {
         }
         for (path, s) in &other.spans {
             let stat = self.spans.entry(path.clone()).or_default();
-            stat.count += s.count;
+            stat.count = stat.count.saturating_add(s.count);
             stat.total_ns = stat.total_ns.saturating_add(s.total_ns);
             stat.child_ns = stat.child_ns.saturating_add(s.child_ns);
         }

@@ -99,7 +99,7 @@ impl SimRng {
             if pos > n {
                 return count;
             }
-            count += 1;
+            count = count.saturating_add(1);
         }
     }
 
