@@ -5,8 +5,11 @@
 //! nashdb-bench smoke --seed 42 --obs-out BENCH_PR.json
 //! nashdb-bench smoke --stable        # scrub wall-clock for byte-stable output
 //! nashdb-bench perf --obs-out BENCH_PR.json
+//! nashdb-bench scenarios --seed 42 --obs-out SCENARIO_PR.json
 //! nashdb-bench validate BENCH_PR.json
+//! nashdb-bench validate --scenarios SCENARIO_PR.json
 //! nashdb-bench compare BENCH_PERF.json BENCH_BASELINE.json
+//! nashdb-bench compare --scenarios SCENARIO_PR.json SCENARIO_BASELINE.json
 //! ```
 //!
 //! Exit codes: 0 success, 1 validation/coverage/regression failure, 2 usage
@@ -14,10 +17,11 @@
 
 use std::process::exit;
 
-use nashdb_bench::compare::{compare, DEFAULT_MAX_REGRESSION};
+use nashdb_bench::compare::{compare, compare_scenarios, DEFAULT_MAX_REGRESSION};
 use nashdb_bench::perf::{perf_snapshot, PerfConfig, PERF_STAGES};
+use nashdb_bench::scenarios::{run_scenarios, ScenarioConfig};
 use nashdb_bench::smoke::{run_smoke, SmokeConfig, REQUIRED_STAGES};
-use nashdb_obs::ObsSnapshot;
+use nashdb_obs::{ObsSnapshot, ScenarioArtifact};
 
 const HELP: &str = "\
 nashdb-bench — observability smoke/perf runs and snapshot validation
@@ -29,14 +33,25 @@ USAGE:
                                    fragmentation / packing hot paths on a
                                    fixed-seed workload and emit the
                                    comparison as a snapshot
+  nashdb-bench scenarios [OPTIONS] sweep the scenario matrix (workload ×
+                                   drift × node mix × replication budget),
+                                   run NashDB and both baselines per cell,
+                                   and emit the Pareto-marked artifact
   nashdb-bench validate FILE       parse and schema-check a snapshot file
                                    (perf snapshots are recognized by their
                                    kind=perf label and checked against the
                                    perf schema)
+  nashdb-bench validate --scenarios FILE
+                                   parse and schema-check a scenario
+                                   artifact
   nashdb-bench compare CURRENT BASELINE
                                    diff the optimized-path timing gauges of
                                    two perf snapshots; fail if any tracked
                                    gauge regressed beyond the allowance
+  nashdb-bench compare --scenarios CURRENT BASELINE
+                                   diff two scenario artifacts; fail if
+                                   NashDB fell off the Pareto frontier in
+                                   any cell where the baseline has it on
 
 SMOKE OPTIONS:
   --seed N          workload RNG seed (default 42)
@@ -59,10 +74,20 @@ PERF OPTIONS:
                     stable estimator on contended shared runners)
   --obs-out FILE    write the JSON snapshot here (default: BENCH_PR.json)
 
+SCENARIOS OPTIONS:
+  --seed N          workload RNG seed shared by every cell (default 42)
+  --queries N       approximate queries per cell (default 60)
+  --size-gb N       database size per cell in GB-equivalents (default 24)
+  --quick           sweep only a 4-cell corner of the matrix (debug runs)
+  --keep-timings    keep host wall-clock per cell instead of scrubbing it
+                    (scrubbing is the default so same-seed artifacts are
+                    byte-identical)
+  --obs-out FILE    write the JSON artifact here (default: stdout)
+
 COMPARE OPTIONS:
   --max-regression X
                     allowed fractional slowdown per tracked gauge before
-                    the gate fails (default 0.25)
+                    the gate fails (default 0.25; perf mode only)
 
   -h, --help        this text
 ";
@@ -120,9 +145,60 @@ fn main() {
     match args.0.remove(0).as_str() {
         "smoke" => smoke(args),
         "perf" => perf(args),
+        "scenarios" => scenarios(args),
         "validate" => validate(args),
         "compare" => compare_cmd(args),
         other => die(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn scenarios(mut args: Args) {
+    let cfg = ScenarioConfig {
+        seed: args.parse("--seed").unwrap_or(42),
+        queries: args.parse("--queries").unwrap_or(60),
+        size_gb: args.parse("--size-gb").unwrap_or(24),
+        quick: args.flag("--quick"),
+        keep_timings: args.flag("--keep-timings"),
+    };
+    let out = args.value("--obs-out");
+    if !args.0.is_empty() {
+        die(&format!("unrecognized arguments: {:?}", args.0));
+    }
+
+    let artifact = match run_scenarios(&cfg) {
+        Ok(artifact) => artifact,
+        Err(e) => fail(&format!("scenario sweep failed: {e}")),
+    };
+
+    // The serialized artifact must round-trip through its own schema
+    // validator and re-serialize byte-identically before it is published.
+    let json = artifact.to_json_string();
+    match ScenarioArtifact::from_json_str(&json) {
+        Ok(parsed) if parsed.to_json_string() == json => {}
+        Ok(_) => fail("scenario artifact did not round-trip byte-identically"),
+        Err(e) => fail(&format!("scenario artifact failed its own schema: {e}")),
+    }
+
+    let on_front = artifact
+        .cells
+        .iter()
+        .filter(|c| c.system("nashdb").is_some_and(|s| s.on_front))
+        .count();
+    eprintln!(
+        "scenarios ok: seed {} — {} cells × {} systems, nashdb on the frontier in {}",
+        cfg.seed,
+        artifact.cells.len(),
+        artifact.cells.first().map_or(0, |c| c.systems.len()),
+        on_front
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                fail(&format!("writing {path}: {e}"));
+            }
+            eprintln!("artifact written to {path}");
+        }
+        None => print!("{json}"),
     }
 }
 
@@ -231,7 +307,62 @@ fn load_snapshot(path: &str) -> ObsSnapshot {
     }
 }
 
+fn load_scenarios(path: &str) -> ScenarioArtifact {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => fail(&format!("reading {path}: {e}")),
+    };
+    match ScenarioArtifact::from_json_str(&raw) {
+        Ok(artifact) => artifact,
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn compare_scenarios_cmd(mut args: Args) {
+    if args.0.len() != 2 {
+        die("compare --scenarios takes exactly two arguments: CURRENT BASELINE");
+    }
+    let current_path = args.0.remove(0);
+    let baseline_path = args.0.remove(0);
+    let current = load_scenarios(&current_path);
+    let baseline = load_scenarios(&baseline_path);
+
+    let report = match compare_scenarios(&current, &baseline) {
+        Ok(report) => report,
+        Err(e) => fail(&format!("{current_path} vs {baseline_path}: {e}")),
+    };
+    for cell in &report.gained_frontier {
+        eprintln!(
+            "note: nashdb joined the Pareto frontier in {cell} — consider refreshing {baseline_path}"
+        );
+    }
+    for d in &report.dominance_drops {
+        eprintln!(
+            "warn: nashdb dominates {} system(s) in {} (baseline: {})",
+            d.current, d.cell, d.baseline
+        );
+    }
+    if !report.passed() {
+        for cell in &report.lost_frontier {
+            eprintln!("REGRESSION: nashdb fell off the Pareto frontier in {cell}");
+        }
+        fail(&format!(
+            "nashdb lost Pareto-frontier membership in {} cell(s) of {}",
+            report.lost_frontier.len(),
+            baseline_path
+        ));
+    }
+    eprintln!(
+        "compare ok: nashdb keeps its frontier position in all {} baseline cells of {}",
+        report.cells, baseline_path
+    );
+}
+
 fn compare_cmd(mut args: Args) {
+    if args.flag("--scenarios") {
+        compare_scenarios_cmd(args);
+        return;
+    }
     let max_regression: f64 = args
         .parse("--max-regression")
         .unwrap_or(DEFAULT_MAX_REGRESSION);
@@ -291,6 +422,20 @@ fn compare_cmd(mut args: Args) {
 }
 
 fn validate(mut args: Args) {
+    if args.flag("--scenarios") {
+        if args.0.len() != 1 {
+            die("validate --scenarios takes exactly one FILE argument");
+        }
+        let path = args.0.remove(0);
+        let artifact = load_scenarios(&path);
+        println!(
+            "{path}: valid scenario artifact (version {}) — {} cells × {} systems",
+            artifact.version,
+            artifact.cells.len(),
+            artifact.cells.first().map_or(0, |c| c.systems.len())
+        );
+        return;
+    }
     if args.0.len() != 1 {
         die("validate takes exactly one FILE argument");
     }

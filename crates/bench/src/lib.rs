@@ -20,6 +20,7 @@ pub mod compare;
 pub mod env;
 pub mod experiments;
 pub mod perf;
+pub mod scenarios;
 pub mod smoke;
 
 /// All experiment ids, in presentation order.

@@ -1,0 +1,378 @@
+//! The scenario-matrix runner behind `nashdb-bench scenarios`.
+//!
+//! Sweeps a declarative matrix — workload generator × drift level ×
+//! node-class mix × replication budget — running every cell against NashDB
+//! and both baseline allocators (Threshold, Hypergraph) on the identical
+//! simulated substrate, and reduces each run to its cost-vs-latency point.
+//! Frontier membership per cell is computed with the same
+//! [`pareto_front`] the Fig. 7 experiment uses. The result is a
+//! [`ScenarioArtifact`]: versioned, schema-validated, and (after the
+//! default timing scrub) byte-identical across same-seed runs, which is
+//! what lets CI diff it against the committed `SCENARIO_BASELINE.json`.
+
+use nashdb_core::replication::hetero::MixPreset;
+use nashdb_obs::{CellSnapshot, ScenarioArtifact, SystemPoint, SCENARIO_VERSION};
+use nashdb_workload::matrix::{DriftLevel, GeneratorKind, MatrixError, MatrixWorkloadSpec};
+
+use crate::env::{min_nodes, run_system, ExpEnv, Router, System};
+use crate::experiments::pareto::{pareto_front, Point};
+
+/// Stable system names, in the order each cell reports them.
+pub const SYSTEM_NAMES: [&str; 3] = ["nashdb", "hypergraph", "threshold"];
+
+/// The replication-budget axis of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetLevel {
+    /// Replication throttled: NashDB capped at 2 replicas per fragment, the
+    /// baselines held at their feasibility-floor node count.
+    Tight,
+    /// Replication unthrottled: NashDB at its default cap, the baselines at
+    /// twice their floor.
+    Ample,
+}
+
+impl BudgetLevel {
+    /// Both levels, in sweep order.
+    pub const ALL: [BudgetLevel; 2] = [BudgetLevel::Tight, BudgetLevel::Ample];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetLevel::Tight => "tight",
+            BudgetLevel::Ample => "ample",
+        }
+    }
+}
+
+/// The node-class mixes the default matrix sweeps (a subset of
+/// [`MixPreset::ALL`] to keep the cell count × runtime in budget).
+pub const MATRIX_MIXES: [MixPreset; 2] = [MixPreset::Uniform, MixPreset::BudgetHdd];
+
+/// One cell of the scenario matrix, before it is run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioCell {
+    /// Workload generator family.
+    pub generator: GeneratorKind,
+    /// Drift level.
+    pub drift: DriftLevel,
+    /// Node-class mix preset.
+    pub mix: MixPreset,
+    /// Replication budget.
+    pub budget: BudgetLevel,
+}
+
+/// Runner parameters. The defaults are what CI runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// RNG seed shared by every cell's workload generator.
+    pub seed: u64,
+    /// Database size per cell, GB.
+    pub size_gb: u64,
+    /// Approximate queries per cell.
+    pub queries: usize,
+    /// Sweep only a 4-cell corner of the matrix (debug-mode tests; CI runs
+    /// the full matrix in release).
+    pub quick: bool,
+    /// Keep host wall-clock timings instead of scrubbing them (scrubbing is
+    /// the default so same-seed artifacts are byte-identical).
+    pub keep_timings: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            // Must keep disk (total/8) above the fixed 2M-tuple read block,
+            // or the fixed-cluster baselines have blocks no node can host.
+            size_gb: 24,
+            queries: 60,
+            quick: false,
+            keep_timings: false,
+        }
+    }
+}
+
+/// Why a scenario sweep failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A matrix cell's workload failed to build.
+    Workload {
+        /// The cell's `generator/drift` prefix.
+        cell: String,
+        /// The underlying build error.
+        source: MatrixError,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Workload { cell, source } => {
+                write!(f, "cell {cell}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Workload { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Enumerates the matrix the config asks for, in sweep order.
+pub fn matrix_cells(cfg: &ScenarioConfig) -> Vec<ScenarioCell> {
+    let (generators, drifts, mixes): (&[GeneratorKind], &[DriftLevel], &[MixPreset]) = if cfg.quick
+    {
+        (
+            &[GeneratorKind::Bernoulli, GeneratorKind::Random],
+            &[DriftLevel::Steady],
+            &[MixPreset::Uniform],
+        )
+    } else {
+        (&GeneratorKind::ALL, &DriftLevel::ALL, &MATRIX_MIXES)
+    };
+    let mut cells = Vec::new();
+    for &generator in generators {
+        for &drift in drifts {
+            for &mix in mixes {
+                for budget in BudgetLevel::ALL {
+                    cells.push(ScenarioCell {
+                        generator,
+                        drift,
+                        mix,
+                        budget,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs one cell: builds the workload, applies the mix and budget to the
+/// shared environment, runs all three systems, and marks the frontier.
+fn run_cell(cell: &ScenarioCell, cfg: &ScenarioConfig) -> Result<CellSnapshot, ScenarioError> {
+    let started = std::time::Instant::now();
+    let spec = MatrixWorkloadSpec {
+        generator: cell.generator,
+        drift: cell.drift,
+        size_gb: cfg.size_gb,
+        queries: cfg.queries,
+        seed: cfg.seed,
+    };
+    let w = spec.build().map_err(|source| ScenarioError::Workload {
+        cell: format!("{}/{}", cell.generator.name(), cell.drift.name()),
+        source,
+    })?;
+
+    let mut env = ExpEnv::for_workload(&w, 1.0 / 8.0);
+    if cell.generator.is_batch() {
+        env = env.warmed(w.queries.len() / 2);
+    }
+
+    // The mix rescales the hardware market: the homogeneous cluster sim
+    // runs at the preset's marginal (cheapest unbounded) class.
+    let effective = cell.mix.effective_spec(&env.nash.spec);
+    env.nash.spec = effective;
+    env.disk = effective.disk;
+    env.run.cluster.node_cost_per_hour = effective.cost;
+
+    // Keep the shared read block well under the node disk: the fixed-cluster
+    // baselines range-partition at block granularity, and blocks comparable
+    // to a whole disk make near-floor packings infeasible.
+    env.nash.max_fragment_tuples = env.nash.max_fragment_tuples.min((env.disk / 8).max(1));
+
+    // Threshold's range-partitioned base layer needs slack above the raw
+    // feasibility floor when block sizes are skewed, so "tight" still grants
+    // 25% headroom; "ample" doubles the floor.
+    let floor = min_nodes(&w, env.disk);
+    let baseline_nodes = match cell.budget {
+        BudgetLevel::Tight => {
+            env.nash.max_replicas = 2;
+            (floor * 5).div_ceil(4)
+        }
+        BudgetLevel::Ample => floor * 2,
+    };
+
+    let runs = [
+        (
+            SYSTEM_NAMES[0],
+            run_system(
+                &w,
+                System::NashDb { price_mult: 1.0 },
+                Router::MaxOfMins,
+                &env,
+            ),
+        ),
+        (
+            SYSTEM_NAMES[1],
+            run_system(
+                &w,
+                System::Hypergraph {
+                    parts: baseline_nodes,
+                },
+                Router::MaxOfMins,
+                &env,
+            ),
+        ),
+        (
+            SYSTEM_NAMES[2],
+            run_system(
+                &w,
+                System::Threshold {
+                    nodes: baseline_nodes,
+                },
+                Router::MaxOfMins,
+                &env,
+            ),
+        ),
+    ];
+
+    let points: Vec<Point> = runs
+        .iter()
+        .map(|(name, m)| {
+            let cl = m.cost_latency();
+            Point {
+                system: name,
+                param: 0.0,
+                latency: cl.mean_latency_secs,
+                cost: cl.cost,
+            }
+        })
+        .collect();
+    let front = pareto_front(&points);
+    let dominates = |p: &Point, q: &Point| {
+        (p.cost <= q.cost && p.latency < q.latency) || (p.cost < q.cost && p.latency <= q.latency)
+    };
+
+    let systems = runs
+        .iter()
+        .zip(points.iter().zip(&front))
+        .map(|((name, m), (p, &on_front))| {
+            let cl = m.cost_latency();
+            SystemPoint {
+                system: (*name).to_owned(),
+                cost: cl.cost,
+                mean_latency_secs: cl.mean_latency_secs,
+                p99_latency_secs: cl.p99_latency_secs,
+                on_front,
+                dominates: points.iter().filter(|q| dominates(p, q)).count() as u64,
+            }
+        })
+        .collect();
+
+    Ok(CellSnapshot {
+        workload: cell.generator.name().to_owned(),
+        drift: cell.drift.name().to_owned(),
+        mix: cell.mix.name().to_owned(),
+        budget: cell.budget.name().to_owned(),
+        systems,
+        wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    })
+}
+
+/// Runs the whole matrix and assembles the artifact.
+///
+/// Deterministic: two runs with the same config produce equal artifacts
+/// (byte-identical once serialized), unless `keep_timings` is set.
+///
+/// # Errors
+/// [`ScenarioError`] if any cell's workload fails to build.
+pub fn run_scenarios(cfg: &ScenarioConfig) -> Result<ScenarioArtifact, ScenarioError> {
+    let cells = matrix_cells(cfg);
+    let mut snapshots = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        snapshots.push(run_cell(cell, cfg)?);
+    }
+    let mut artifact = ScenarioArtifact {
+        version: SCENARIO_VERSION,
+        labels: vec![
+            ("kind".to_owned(), "scenarios".to_owned()),
+            ("seed".to_owned(), cfg.seed.to_string()),
+            (
+                "scale".to_owned(),
+                if cfg.quick { "quick" } else { "full" }.to_owned(),
+            ),
+            ("size_gb".to_owned(), cfg.size_gb.to_string()),
+            ("queries".to_owned(), cfg.queries.to_string()),
+        ],
+        cells: snapshots,
+    };
+    if !cfg.keep_timings {
+        artifact.scrub_timings();
+    }
+    Ok(artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_covers_the_required_cells() {
+        let cells = matrix_cells(&ScenarioConfig::default());
+        assert!(cells.len() >= 24, "only {} cells", cells.len());
+        // 5 generators × 2 drifts × 2 mixes × 2 budgets.
+        assert_eq!(cells.len(), 40);
+        // Keys are unique.
+        let mut keys: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}/{}/{}/{}",
+                    c.generator.name(),
+                    c.drift.name(),
+                    c.mix.name(),
+                    c.budget.name()
+                )
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn quick_matrix_is_a_small_corner() {
+        let cells = matrix_cells(&ScenarioConfig {
+            quick: true,
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn quick_run_produces_a_valid_artifact() {
+        let cfg = ScenarioConfig {
+            quick: true,
+            queries: 40,
+            ..ScenarioConfig::default()
+        };
+        let art = run_scenarios(&cfg).unwrap();
+        assert_eq!(art.cells.len(), 4);
+        for cell in &art.cells {
+            assert_eq!(cell.systems.len(), SYSTEM_NAMES.len());
+            assert_eq!(cell.wall_ns, 0, "timings must be scrubbed by default");
+            assert!(cell.systems.iter().any(|s| s.on_front));
+        }
+        // Round-trips through the schema validator byte-identically.
+        let text = art.to_json_string();
+        let parsed = ScenarioArtifact::from_json_str(&text).unwrap();
+        assert_eq!(parsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn keep_timings_keeps_the_wall_clock() {
+        let cfg = ScenarioConfig {
+            quick: true,
+            queries: 40,
+            keep_timings: true,
+            ..ScenarioConfig::default()
+        };
+        let art = run_scenarios(&cfg).unwrap();
+        assert!(art.cells.iter().any(|c| c.wall_ns > 0));
+    }
+}

@@ -30,5 +30,5 @@
 pub mod metrics;
 mod sim;
 
-pub use metrics::{Metrics, QueryRecord};
+pub use metrics::{CostLatency, Metrics, QueryRecord};
 pub use sim::{ClusterConfig, ClusterSim, DispatchError, DriverEvent, QueryRequest, ScanRange};

@@ -96,6 +96,27 @@ impl Metrics {
     pub fn total_transfer(&self) -> u64 {
         self.transfers.iter().map(|(_, t)| t).sum()
     }
+
+    /// The run reduced to the cost-vs-latency point the paper's Fig. 7
+    /// plots (and the scenario matrix sweeps).
+    pub fn cost_latency(&self) -> CostLatency {
+        CostLatency {
+            cost: self.total_cost,
+            mean_latency_secs: self.mean_latency_secs(),
+            p99_latency_secs: self.latency_percentile_secs(99.0).unwrap_or(0.0),
+        }
+    }
+}
+
+/// One simulation run's position in cost-vs-latency space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostLatency {
+    /// Total monetary cost, in 1/100 cent.
+    pub cost: f64,
+    /// Mean query latency, seconds (0 if no queries completed).
+    pub mean_latency_secs: f64,
+    /// 99th-percentile query latency, seconds (0 if no queries completed).
+    pub p99_latency_secs: f64,
 }
 
 #[cfg(test)]
@@ -125,6 +146,28 @@ mod tests {
         assert_eq!(m.latency_percentile_secs(99.0), None);
         assert_eq!(m.total_transfer(), 0);
         assert!(m.mean_span().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_latency_point_matches_aggregates() {
+        let mut m = Metrics::new(SimDuration::from_secs(60));
+        m.total_cost = 12.5;
+        for (i, lat_ms) in [100u64, 200, 300, 400].iter().enumerate() {
+            m.queries.push(QueryRecord {
+                id: QueryId(i as u64),
+                arrival: SimTime::from_secs(0),
+                completion: SimTime::ZERO + SimDuration::from_millis(*lat_ms),
+                span: 1,
+            });
+        }
+        let p = m.cost_latency();
+        assert!((p.cost - 12.5).abs() < 1e-12);
+        assert!((p.mean_latency_secs - m.mean_latency_secs()).abs() < 1e-12);
+        assert!((p.p99_latency_secs - m.latency_percentile_secs(99.0).unwrap()).abs() < 1e-12);
+        // Empty run: well-defined zero point, not NaN.
+        let empty = Metrics::new(SimDuration::from_secs(60)).cost_latency();
+        assert!(empty.mean_latency_secs.abs() < 1e-12);
+        assert!(empty.p99_latency_secs.abs() < 1e-12);
     }
 
     #[test]

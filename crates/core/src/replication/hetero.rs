@@ -57,6 +57,96 @@ impl NodeClass {
     }
 }
 
+/// A named node-class mix, scaled from a reference [`NodeSpec`].
+///
+/// The scenario matrix (and any other caller wanting "the same cluster,
+/// different hardware market") picks a preset and applies it to the spec its
+/// autotuner produced for the uniform case. Multipliers are relative to that
+/// reference, so presets compose with workloads of any size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixPreset {
+    /// One unbounded class at the reference spec (the paper's §6 baseline).
+    Uniform,
+    /// Unbounded budget boxes: half the rent, double the disk (density ×¼).
+    BudgetHdd,
+    /// Unbounded premium boxes: double the rent, three-quarters the disk.
+    PremiumNvme,
+    /// A bounded premium tier over an unbounded budget tier: the elastic
+    /// margin is the budget class, but hot replicas can claim the handful of
+    /// fast nodes.
+    MixedTier,
+}
+
+impl MixPreset {
+    /// All presets, in a stable order (the scenario matrix sweeps these).
+    pub const ALL: [MixPreset; 4] = [
+        MixPreset::Uniform,
+        MixPreset::BudgetHdd,
+        MixPreset::PremiumNvme,
+        MixPreset::MixedTier,
+    ];
+
+    /// Stable machine-readable name (used in artifacts and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            MixPreset::Uniform => "uniform",
+            MixPreset::BudgetHdd => "budget-hdd",
+            MixPreset::PremiumNvme => "premium-nvme",
+            MixPreset::MixedTier => "mixed-tier",
+        }
+    }
+
+    /// Parses a preset from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<MixPreset> {
+        MixPreset::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The concrete class list, scaled from `reference`.
+    ///
+    /// Every preset contains at least one unbounded class, so elastic
+    /// provisioning never dead-ends.
+    pub fn classes(self, reference: &NodeSpec) -> Vec<NodeClass> {
+        let scaled = |cost_mult: f64, disk_mult: f64| {
+            NodeSpec::new(
+                reference.cost * cost_mult,
+                crate::num::saturating_u64(reference.disk as f64 * disk_mult).max(1),
+            )
+        };
+        match self {
+            MixPreset::Uniform => vec![NodeClass::unbounded(*reference)],
+            MixPreset::BudgetHdd => vec![NodeClass::unbounded(scaled(0.5, 2.0))],
+            MixPreset::PremiumNvme => vec![NodeClass::unbounded(scaled(2.0, 0.75))],
+            MixPreset::MixedTier => vec![
+                NodeClass {
+                    spec: scaled(2.0, 0.75),
+                    available: Some(4),
+                },
+                NodeClass::unbounded(scaled(0.5, 2.0)),
+            ],
+        }
+    }
+
+    /// The spec of the preset's *marginal* class — the cheapest-density
+    /// unbounded class, i.e. the hardware elastic growth actually rents.
+    /// A homogeneous cluster simulation consumes a mix through this: run at
+    /// the marginal spec, since in equilibrium the unbounded cheap class
+    /// absorbs all marginal replicas (bounded classes only shift a constant
+    /// number of slots).
+    pub fn effective_spec(self, reference: &NodeSpec) -> NodeSpec {
+        let unbounded: Vec<NodeClass> = self
+            .classes(reference)
+            .into_iter()
+            .filter(|c| c.available.is_none())
+            .collect();
+        // Every preset has ≥ 1 unbounded class by construction; fall back to
+        // the reference rather than panic if that invariant ever breaks.
+        unbounded
+            .iter()
+            .min_by(|a, b| a.density().total_cmp(&b.density()))
+            .map_or(*reference, |c| c.spec)
+    }
+}
+
 /// The equilibrium replica counts of one fragment across node classes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeteroDecision {
@@ -375,6 +465,33 @@ mod tests {
         let err = pack_bffd_hetero(&st, &decisions, &classes).unwrap_err();
         assert_eq!(err, HeteroPackError::ClassExhausted { class: 0 });
         assert!(err.to_string().contains("no capacity"));
+    }
+
+    #[test]
+    fn mix_presets_round_trip_names_and_stay_unbounded() {
+        for p in MixPreset::ALL {
+            assert_eq!(MixPreset::parse(p.name()), Some(p), "{}", p.name());
+            let classes = p.classes(&NodeSpec::new(100.0, 1_000));
+            assert!(
+                classes.iter().any(|c| c.available.is_none()),
+                "{} has no unbounded class",
+                p.name()
+            );
+        }
+        assert_eq!(MixPreset::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn effective_spec_is_the_cheap_unbounded_margin() {
+        let reference = NodeSpec::new(100.0, 1_000);
+        assert_eq!(MixPreset::Uniform.effective_spec(&reference), reference);
+        // Mixed tier's margin is the budget class, not the bounded premium.
+        let eff = MixPreset::MixedTier.effective_spec(&reference);
+        assert_eq!(eff, NodeSpec::new(50.0, 2_000));
+        // Budget halves the density twice over; premium raises it.
+        let density = |s: NodeSpec| s.cost / s.disk as f64;
+        assert!(density(MixPreset::BudgetHdd.effective_spec(&reference)) < density(reference));
+        assert!(density(MixPreset::PremiumNvme.effective_spec(&reference)) > density(reference));
     }
 
     #[test]

@@ -5,19 +5,67 @@
 //! The paper uses an off-the-shelf implementation (JGraphT); we implement it
 //! from scratch and verify against brute-force permutation search in tests.
 
+/// Why the Hungarian solver rejected its input matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HungarianError {
+    /// The cost matrix has no rows.
+    Empty,
+    /// One row's length disagrees with the row count.
+    NotSquare {
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The matrix's row count (the required length).
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for HungarianError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            HungarianError::Empty => write!(f, "empty cost matrix"),
+            HungarianError::NotSquare { row, len, n } => {
+                write!(
+                    f,
+                    "cost matrix is not square: row {row} has {len} entries, expected {n}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HungarianError {}
+
 /// Solves the assignment problem for a square `n × n` cost matrix.
 ///
 /// Returns `(assignment, total_cost)` where `assignment[row] = col`.
 ///
-/// # Panics
-/// Panics if the matrix is not square and nonempty.
-pub fn hungarian(cost: &[Vec<u64>]) -> (Vec<usize>, u64) {
-    let watch = crate::obs_hooks::stopwatch();
+/// # Errors
+/// [`HungarianError`] if the matrix is empty or not square.
+pub fn hungarian(cost: &[Vec<u64>]) -> Result<(Vec<usize>, u64), HungarianError> {
     let n = cost.len();
-    assert!(n > 0, "empty cost matrix");
-    for row in cost {
-        assert_eq!(row.len(), n, "cost matrix must be square");
+    if n == 0 {
+        return Err(HungarianError::Empty);
     }
+    for (row, r) in cost.iter().enumerate() {
+        if r.len() != n {
+            return Err(HungarianError::NotSquare {
+                row,
+                len: r.len(),
+                n,
+            });
+        }
+    }
+    Ok(solve_square(cost, n))
+}
+
+/// The solver proper. `cost` must be a square `n × n` matrix with `n ≥ 1`
+/// — [`hungarian`] validates public inputs; [`plan_transition`]
+/// (`super::plan_transition`) constructs its matrix square by design and
+/// calls in directly.
+pub(super) fn solve_square(cost: &[Vec<u64>], n: usize) -> (Vec<usize>, u64) {
+    let watch = crate::obs_hooks::stopwatch();
 
     const INF: i64 = i64::MAX / 4;
 
@@ -127,7 +175,7 @@ mod tests {
 
     #[test]
     fn trivial_one_by_one() {
-        let (a, t) = hungarian(&[vec![7]]);
+        let (a, t) = hungarian(&[vec![7]]).unwrap();
         assert_eq!(a, vec![0]);
         assert_eq!(t, 7);
     }
@@ -135,7 +183,7 @@ mod tests {
     #[test]
     fn classic_three_by_three() {
         let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
-        let (a, t) = hungarian(&cost);
+        let (a, t) = hungarian(&cost).unwrap();
         assert_valid_assignment(&cost, &a, t);
         assert_eq!(t, 5); // 1 + 2 + 2
     }
@@ -143,7 +191,7 @@ mod tests {
     #[test]
     fn identity_preferred_on_diagonal_zeros() {
         let cost = vec![vec![0, 9, 9], vec![9, 0, 9], vec![9, 9, 0]];
-        let (a, t) = hungarian(&cost);
+        let (a, t) = hungarian(&cost).unwrap();
         assert_eq!(t, 0);
         assert_eq!(a, vec![0, 1, 2]);
     }
@@ -157,7 +205,7 @@ mod tests {
             let cost: Vec<Vec<u64>> = (0..n)
                 .map(|_| (0..n).map(|_| rng.gen_range(0..1_000u64)).collect())
                 .collect();
-            let (a, t) = hungarian(&cost);
+            let (a, t) = hungarian(&cost).unwrap();
             assert_valid_assignment(&cost, &a, t);
             let bf = brute_force(&cost);
             assert_eq!(t, bf, "trial {trial}: hungarian {t} vs brute force {bf}");
@@ -169,15 +217,26 @@ mod tests {
         // Tuple counts can reach billions; make sure potentials don't wrap.
         let big = 3_000_000_000u64;
         let cost = vec![vec![big, big / 2], vec![big / 3, big]];
-        let (a, t) = hungarian(&cost);
+        let (a, t) = hungarian(&cost).unwrap();
         assert_valid_assignment(&cost, &a, t);
         assert_eq!(t, big / 2 + big / 3);
     }
 
     #[test]
-    #[should_panic(expected = "square")]
     fn rejects_ragged_matrix() {
-        let _ = hungarian(&[vec![1, 2], vec![3]]);
+        assert_eq!(
+            hungarian(&[vec![1, 2], vec![3]]),
+            Err(HungarianError::NotSquare {
+                row: 1,
+                len: 1,
+                n: 2
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_matrix() {
+        assert_eq!(hungarian(&[]), Err(HungarianError::Empty));
     }
 
     #[test]
@@ -186,7 +245,7 @@ mod tests {
         // dummies: whole columns of zeros. The matching must still be a
         // valid permutation with total zero.
         let cost = vec![vec![0, 0, 0], vec![0, 0, 0], vec![0, 0, 0]];
-        let (a, t) = hungarian(&cost);
+        let (a, t) = hungarian(&cost).unwrap();
         assert_valid_assignment(&cost, &a, t);
         assert_eq!(t, 0);
     }
@@ -197,7 +256,7 @@ mod tests {
         // zeros): the dummy must absorb the row whose real options are
         // worst.
         let cost = vec![vec![10, 20, 0], vec![30, 10, 0], vec![90, 90, 0]];
-        let (a, t) = hungarian(&cost);
+        let (a, t) = hungarian(&cost).unwrap();
         assert_valid_assignment(&cost, &a, t);
         assert_eq!(t, 20); // rows 0->0, 1->1, 2->dummy
         assert_eq!(a[2], 2);
@@ -206,7 +265,7 @@ mod tests {
     #[test]
     fn single_node_dominant_column() {
         // 1×1 with a huge cost: trivially matched, no overflow.
-        let (a, t) = hungarian(&[vec![u64::MAX / 8]]);
+        let (a, t) = hungarian(&[vec![u64::MAX / 8]]).unwrap();
         assert_eq!(a, vec![0]);
         assert_eq!(t, u64::MAX / 8);
     }
@@ -222,7 +281,7 @@ mod tests {
         let cost: Vec<Vec<u64>> = (0..n)
             .map(|_| (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect())
             .collect();
-        let (a, t) = hungarian(&cost);
+        let (a, t) = hungarian(&cost).unwrap();
         assert_valid_assignment(&cost, &a, t);
         // Greedy row-by-row assignment for comparison.
         let mut used = vec![false; n];

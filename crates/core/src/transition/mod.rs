@@ -12,7 +12,7 @@
 mod hungarian;
 mod interval_set;
 
-pub use hungarian::hungarian;
+pub use hungarian::{hungarian, HungarianError};
 pub use interval_set::IntervalSet;
 
 use crate::ids::NodeId;
@@ -105,8 +105,10 @@ pub fn plan_transition(old: &[IntervalSet], new: &[IntervalSet]) -> TransitionPl
         };
     }
 
-    // Rows: old nodes then dummies. Columns: new nodes then dummies.
-    // Dummies only ever pad the smaller side.
+    // Rows: old nodes then dummies. Columns: new nodes then dummies. With
+    // `n = max(|old|, |new|)`, dummies only ever pad the smaller side, so a
+    // dummy row never meets a dummy column; the `(_, None)` arm folds that
+    // impossible pairing in with decommissioning (both cost 0).
     let cost: Vec<Vec<u64>> = (0..n)
         .map(|i| {
             (0..n)
@@ -116,32 +118,36 @@ pub fn plan_transition(old: &[IntervalSet], new: &[IntervalSet]) -> TransitionPl
                     // Provisioning a fresh node: copy everything.
                     (None, Some(nw)) => nw.len(),
                     // Decommissioning: free.
-                    (Some(_), None) => 0,
-                    (None, None) => unreachable!("dummies pad only one side"),
+                    (_, None) => 0,
                 })
                 .collect()
         })
         .collect();
 
-    let (assignment, total_transfer) = hungarian(&cost);
+    // The matrix is square by construction with n ≥ 1 (checked above), so
+    // the solver is called directly rather than through the validating
+    // public wrapper.
+    let (assignment, total_transfer) = hungarian::solve_square(&cost, n);
 
     let moves = assignment
         .iter()
         .enumerate()
-        .map(|(i, &j)| match (i < old.len(), j < new.len()) {
-            (true, true) => NodeMove::Reuse {
+        .filter_map(|(i, &j)| match (i < old.len(), j < new.len()) {
+            (true, true) => Some(NodeMove::Reuse {
                 old: NodeId(i as u64),
                 new: NodeId(j as u64),
                 transfer: cost[i][j],
-            },
-            (false, true) => NodeMove::Provision {
+            }),
+            (false, true) => Some(NodeMove::Provision {
                 new: NodeId(j as u64),
                 transfer: cost[i][j],
-            },
-            (true, false) => NodeMove::Decommission {
+            }),
+            (true, false) => Some(NodeMove::Decommission {
                 old: NodeId(i as u64),
-            },
-            (false, false) => unreachable!("dummies pad only one side"),
+            }),
+            // Dummy-to-dummy pairs cannot occur (dummies pad one side only);
+            // dropping the arm keeps the plan well-typed without a panic.
+            (false, false) => None,
         })
         .collect();
 

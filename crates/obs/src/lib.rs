@@ -29,11 +29,13 @@
 mod histogram;
 mod json;
 mod registry;
+mod scenario;
 mod snapshot;
 
 pub use histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use registry::{MetricsRegistry, SpanStat};
+pub use scenario::{CellSnapshot, ScenarioArtifact, SystemPoint, SCENARIO_VERSION};
 pub use snapshot::{HistogramSnapshot, ObsSnapshot, SnapshotError, SpanSnapshot, SNAPSHOT_VERSION};
 
 use std::cell::RefCell;

@@ -16,6 +16,8 @@
 //!   Table 1 (database size, query count, median/min bytes read) with
 //!   drifting hot spots in the dynamic variants.
 //! * [`trace`] — save/load any workload as a portable text trace.
+//! * [`matrix`] — the scenario-matrix workload axis: generator × drift
+//!   cells buildable deterministically from a seed.
 //!
 //! All generators are deterministic under a fixed seed. One "gigabyte" is
 //! [`TUPLES_PER_GB`] tuples throughout.
@@ -24,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bernoulli;
+pub mod matrix;
 pub mod random;
 pub mod realistic;
 pub mod tpch;

@@ -1,0 +1,330 @@
+//! The declarative scenario-matrix axis for workloads.
+//!
+//! The scenario runner (`nashdb-bench scenarios`) sweeps a cross product of
+//! axes; this module supplies the workload axis: a [`GeneratorKind`] ×
+//! [`DriftLevel`] pair plus a scale, buildable into a concrete [`Workload`]
+//! deterministically from a seed. Keeping the enumeration here (rather than
+//! in the bench crate) lets any consumer — CLI, tests, future notebooks —
+//! name the same workload cells.
+
+use nashdb_cluster::ScanRange;
+use nashdb_sim::SimDuration;
+
+use crate::{bernoulli, random, realistic, tpch, trace, Workload};
+
+/// Which generator family a matrix cell draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// TPC-H-like template batch ([`crate::tpch`]).
+    Tpch,
+    /// Geometric look-back time-series scans ([`crate::bernoulli`]).
+    Bernoulli,
+    /// Drifting analytics stream ([`realistic::drifting`]).
+    Realistic,
+    /// Uniform random range scans ([`crate::random`]).
+    Random,
+    /// A bernoulli workload round-tripped through the text trace codec
+    /// ([`crate::trace`]) — exercises the save/load path end to end.
+    Trace,
+}
+
+impl GeneratorKind {
+    /// All generator kinds, in the order the matrix sweeps them.
+    pub const ALL: [GeneratorKind; 5] = [
+        GeneratorKind::Tpch,
+        GeneratorKind::Bernoulli,
+        GeneratorKind::Realistic,
+        GeneratorKind::Random,
+        GeneratorKind::Trace,
+    ];
+
+    /// Stable machine-readable name (artifact keys, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratorKind::Tpch => "tpch",
+            GeneratorKind::Bernoulli => "bernoulli",
+            GeneratorKind::Realistic => "realistic",
+            GeneratorKind::Random => "random",
+            GeneratorKind::Trace => "trace",
+        }
+    }
+
+    /// Parses a kind from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<GeneratorKind> {
+        GeneratorKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether the kind is a batch (all queries effectively simultaneous)
+    /// rather than a timed stream — batches are the workloads the paper
+    /// warms the cluster for.
+    pub fn is_batch(self) -> bool {
+        matches!(
+            self,
+            GeneratorKind::Tpch | GeneratorKind::Bernoulli | GeneratorKind::Trace
+        )
+    }
+}
+
+/// How much the cell's access pattern moves over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftLevel {
+    /// Stationary access pattern.
+    Steady,
+    /// The hot region migrates across the table over the run.
+    Drifting,
+}
+
+impl DriftLevel {
+    /// Both levels, in sweep order.
+    pub const ALL: [DriftLevel; 2] = [DriftLevel::Steady, DriftLevel::Drifting];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftLevel::Steady => "steady",
+            DriftLevel::Drifting => "drifting",
+        }
+    }
+
+    /// Parses a level from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<DriftLevel> {
+        DriftLevel::ALL.into_iter().find(|d| d.name() == s)
+    }
+}
+
+/// One workload cell of the scenario matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixWorkloadSpec {
+    /// Generator family.
+    pub generator: GeneratorKind,
+    /// Drift level.
+    pub drift: DriftLevel,
+    /// Database size in GB.
+    pub size_gb: u64,
+    /// Approximate query count (generators quantize, e.g. TPC-H rounds of
+    /// 22 templates).
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Why a matrix cell could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The trace round-trip failed (a codec bug — generated traces must
+    /// always parse back).
+    Trace(trace::TraceError),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::Trace(e) => write!(f, "trace round-trip failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<trace::TraceError> for MatrixError {
+    fn from(e: trace::TraceError) -> Self {
+        MatrixError::Trace(e)
+    }
+}
+
+impl MatrixWorkloadSpec {
+    /// Builds the concrete workload for this cell.
+    ///
+    /// Deterministic: equal specs build equal workloads.
+    ///
+    /// # Errors
+    /// [`MatrixError::Trace`] if the [`GeneratorKind::Trace`] round-trip
+    /// fails (indicates a codec bug, not bad input).
+    pub fn build(&self) -> Result<Workload, MatrixError> {
+        let w = match self.generator {
+            GeneratorKind::Tpch => tpch::workload(&tpch::TpchConfig {
+                size_gb: self.size_gb,
+                rounds: (self.queries / 22).max(1),
+                seed: self.seed,
+                ..tpch::TpchConfig::default()
+            }),
+            GeneratorKind::Bernoulli => bernoulli::workload(&bernoulli::BernoulliConfig {
+                size_gb: self.size_gb,
+                queries: self.queries,
+                seed: self.seed,
+                ..bernoulli::BernoulliConfig::default()
+            }),
+            GeneratorKind::Realistic => realistic::drifting(&realistic::DriftConfig {
+                size_gb: self.size_gb as f64,
+                queries: self.queries,
+                duration: SimDuration::from_secs(6 * 3600),
+                sweep_turns: match self.drift {
+                    DriftLevel::Steady => 0.0,
+                    DriftLevel::Drifting => 1.0,
+                },
+                wobble: match self.drift {
+                    DriftLevel::Steady => 0.0,
+                    DriftLevel::Drifting => 0.08,
+                },
+                seed: self.seed,
+            }),
+            GeneratorKind::Random => random::workload(&random::RandomConfig {
+                size_gb: self.size_gb,
+                queries: self.queries,
+                duration: SimDuration::from_secs(6 * 3600),
+                seed: self.seed,
+                ..random::RandomConfig::default()
+            }),
+            GeneratorKind::Trace => {
+                let inner = bernoulli::workload(&bernoulli::BernoulliConfig {
+                    size_gb: self.size_gb,
+                    queries: self.queries,
+                    seed: self.seed,
+                    ..bernoulli::BernoulliConfig::default()
+                });
+                trace::from_trace(&trace::to_trace(&inner))?
+            }
+        };
+        // `Realistic` drifts natively (the sweep knob above); the other
+        // generators are made non-stationary by rotating their scan windows
+        // across the run.
+        Ok(match (self.generator, self.drift) {
+            (GeneratorKind::Realistic, _) | (_, DriftLevel::Steady) => w,
+            (_, DriftLevel::Drifting) => rotate_drift(w),
+        })
+    }
+}
+
+/// Imposes drift on a stationary workload: query `i` of `n` has every scan
+/// shifted by `i/n` of its table (wrapping), so the access pattern migrates
+/// once across each table over the run. Deterministic and read-preserving —
+/// each query touches exactly as many tuples as before.
+fn rotate_drift(mut w: Workload) -> Workload {
+    let n = w.queries.len().max(1) as u64;
+    let tuples_of: Vec<u64> = w.db.tables.iter().map(|t| t.tuples).collect();
+    for (i, tq) in w.queries.iter_mut().enumerate() {
+        let mut rotated = Vec::with_capacity(tq.query.scans.len());
+        for s in &tq.query.scans {
+            let tuples = tuples_of[s.table.index()];
+            let len = s.size().min(tuples);
+            // i/n of the table, computed in u128 to dodge overflow; the
+            // quotient is < tuples (i < n), so the narrowing never saturates.
+            let offset =
+                u64::try_from((i as u128 * u128::from(tuples)) / u128::from(n)).unwrap_or(u64::MAX);
+            let start = (s.start + offset) % tuples;
+            if start + len <= tuples {
+                rotated.push(ScanRange::new(s.table, start, start + len));
+            } else {
+                // Wraps: split into a tail run and a head run.
+                let tail = tuples - start;
+                rotated.push(ScanRange::new(s.table, start, tuples));
+                rotated.push(ScanRange::new(s.table, 0, len - tail));
+            }
+        }
+        tq.query.scans = rotated;
+    }
+    w.name = format!("{}-drift", w.name);
+    w.validated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimedQuery;
+
+    fn spec(generator: GeneratorKind, drift: DriftLevel) -> MatrixWorkloadSpec {
+        MatrixWorkloadSpec {
+            generator,
+            drift,
+            size_gb: 2,
+            queries: 44,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn every_cell_builds_and_is_deterministic() {
+        for g in GeneratorKind::ALL {
+            for d in DriftLevel::ALL {
+                let a = spec(g, d).build().unwrap();
+                let b = spec(g, d).build().unwrap();
+                assert_eq!(a.queries, b.queries, "{}/{}", g.name(), d.name());
+                assert!(!a.queries.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for g in GeneratorKind::ALL {
+            assert_eq!(GeneratorKind::parse(g.name()), Some(g));
+        }
+        for d in DriftLevel::ALL {
+            assert_eq!(DriftLevel::parse(d.name()), Some(d));
+        }
+        assert_eq!(GeneratorKind::parse("nope"), None);
+        assert_eq!(DriftLevel::parse(""), None);
+    }
+
+    #[test]
+    fn drift_changes_scans_but_preserves_read_volume() {
+        for g in [
+            GeneratorKind::Tpch,
+            GeneratorKind::Bernoulli,
+            GeneratorKind::Random,
+        ] {
+            let steady = spec(g, DriftLevel::Steady).build().unwrap();
+            let drifted = spec(g, DriftLevel::Drifting).build().unwrap();
+            assert_eq!(
+                steady.total_read(),
+                drifted.total_read(),
+                "{}: drift must not change read volume",
+                g.name()
+            );
+            assert_ne!(
+                steady.queries,
+                drifted.queries,
+                "{}: drift must move the scans",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn drifted_bernoulli_hot_spot_migrates() {
+        // Mid-run, rotation has shifted scans by ~half the table: the
+        // drifted query must differ from its steady twin, and a scan that
+        // wrapped must have been split without losing tuples.
+        let steady = spec(GeneratorKind::Bernoulli, DriftLevel::Steady)
+            .build()
+            .unwrap();
+        let drifted = spec(GeneratorKind::Bernoulli, DriftLevel::Drifting)
+            .build()
+            .unwrap();
+        let mid = drifted.queries.len() / 2;
+        assert_ne!(
+            steady.queries[mid].query.scans,
+            drifted.queries[mid].query.scans
+        );
+        let read = |q: &TimedQuery| q.query.scans.iter().map(|s| s.size()).sum::<u64>();
+        assert_eq!(read(&steady.queries[mid]), read(&drifted.queries[mid]));
+    }
+
+    #[test]
+    fn trace_cell_round_trips_the_codec() {
+        let direct = spec(GeneratorKind::Bernoulli, DriftLevel::Steady)
+            .build()
+            .unwrap();
+        let traced = spec(GeneratorKind::Trace, DriftLevel::Steady)
+            .build()
+            .unwrap();
+        assert_eq!(direct.queries, traced.queries);
+        assert_eq!(direct.db.total_tuples(), traced.db.total_tuples());
+    }
+}

@@ -167,6 +167,106 @@ pub fn real1_dynamic(seed: u64) -> Workload {
 }
 
 // ---------------------------------------------------------------------------
+// Parameterized drifting analytics stream: the real1-dynamic shape at any
+// scale, with the drift rate as a knob.
+// ---------------------------------------------------------------------------
+
+/// Knobs for [`drifting`], a scaled-down real1-style analytics stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Database size in GB (80 % fact table, 20 % dimensions).
+    pub size_gb: f64,
+    /// Number of queries.
+    pub queries: usize,
+    /// Workload duration.
+    pub duration: SimDuration,
+    /// How many full sweeps of the fact table the hot centre makes over the
+    /// run. `0.0` pins the centre (a stationary hot spot); `1.0` reproduces
+    /// real1-dynamic's single sweep.
+    pub sweep_turns: f64,
+    /// Amplitude of the daily wobble superimposed on the sweep (fraction of
+    /// the table; real1-dynamic uses `0.08`).
+    pub wobble: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            size_gb: 10.0,
+            queries: 200,
+            duration: SimDuration::from_secs(6 * 3600),
+            sweep_turns: 1.0,
+            wobble: 0.08,
+            seed: 0xd1f7,
+        }
+    }
+}
+
+/// Generates a drifting analytics stream: analysts chase a region of
+/// interest whose centre sweeps the fact table `sweep_turns` times, with a
+/// sinusoidal wobble. Reads are a mix of narrow drill-downs and regional
+/// aggregations scaled to the database size.
+pub fn drifting(cfg: &DriftConfig) -> Workload {
+    let size_gb = if cfg.size_gb.is_finite() && cfg.size_gb > 0.0 {
+        cfg.size_gb
+    } else {
+        1.0
+    };
+    let db = Database::new([("facts", gb(size_gb * 0.8)), ("dims", gb(size_gb * 0.2))]);
+    let fact = db.tables[0];
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let duration_ns = cfg.duration.as_nanos().max(1);
+    let n = cfg.queries.max(1);
+
+    let mut arrivals: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, duration_ns)).collect();
+    arrivals.sort_unstable();
+
+    let queries = arrivals
+        .into_iter()
+        .map(|at_ns| {
+            let phase = at_ns as f64 / duration_ns as f64;
+            let wobble = cfg.wobble * (phase * 3.0 * std::f64::consts::TAU).sin();
+            let centre = saturating_u64(
+                (phase * cfg.sweep_turns + wobble).rem_euclid(1.0) * fact.tuples as f64,
+            );
+
+            // 25 % narrow drill-downs (~0.5 % of the table), 75 % regional
+            // aggregations (5–40 % of the table) — real1-dynamic's ratios,
+            // rescaled.
+            let read = if rng.bernoulli(0.25) {
+                1 + rng.uniform_u64(0, (fact.tuples / 200).max(1))
+            } else {
+                fact.tuples / 20 + rng.uniform_u64(0, (fact.tuples * 35 / 100).max(1))
+            };
+            let len = read.clamp(1, fact.tuples);
+            let half = len / 2;
+            let start = centre.saturating_sub(half).min(fact.tuples - len);
+            TimedQuery {
+                at: SimTime::from_nanos(at_ns),
+                query: QueryRequest {
+                    price: 1.0,
+                    scans: vec![ScanRange::new(fact.id, start, start + len)],
+                    tag: 0,
+                },
+            }
+        })
+        .collect();
+
+    Workload {
+        name: if cfg.sweep_turns == 0.0 {
+            "drifting-steady".to_string()
+        } else {
+            "drifting-moving".to_string()
+        },
+        db,
+        queries,
+    }
+    .validated()
+}
+
+// ---------------------------------------------------------------------------
 // Dynamic "Real data 2": predictive analytics. Table 1: 3 TB DB, 2500
 // queries over 72 h, median read 450 GB, min read 80 KB.
 // ---------------------------------------------------------------------------
@@ -307,6 +407,52 @@ mod tests {
             (late - early).abs() > 0.2,
             "no drift: early {early:.2} late {late:.2}"
         );
+    }
+
+    #[test]
+    fn drifting_sweeps_when_asked_and_holds_when_not() {
+        let moving = drifting(&DriftConfig {
+            sweep_turns: 1.0,
+            ..DriftConfig::default()
+        });
+        let steady = drifting(&DriftConfig {
+            sweep_turns: 0.0,
+            wobble: 0.0,
+            ..DriftConfig::default()
+        });
+        let centre_of = |w: &Workload, tq: &TimedQuery| {
+            let s = tq.query.scans[0];
+            (s.start + s.end) as f64 / 2.0 / w.db.tables[0].tuples as f64
+        };
+        let spread = |w: &Workload| {
+            let k = 50.min(w.queries.len() / 2);
+            let early: f64 = w.queries[..k].iter().map(|q| centre_of(w, q)).sum::<f64>() / k as f64;
+            let late: f64 = w.queries[w.queries.len() - k..]
+                .iter()
+                .map(|q| centre_of(w, q))
+                .sum::<f64>()
+                / k as f64;
+            (late - early).abs()
+        };
+        assert!(spread(&moving) > 0.2, "no drift: {}", spread(&moving));
+        assert!(
+            spread(&steady) < 0.1,
+            "unexpected drift: {}",
+            spread(&steady)
+        );
+    }
+
+    #[test]
+    fn drifting_is_deterministic_and_scales() {
+        let cfg = DriftConfig {
+            size_gb: 2.0,
+            queries: 60,
+            ..DriftConfig::default()
+        };
+        assert_eq!(drifting(&cfg).queries, drifting(&cfg).queries);
+        let s = drifting(&cfg).summary();
+        assert!((s.db_gb - 2.0).abs() < 0.01, "db {}", s.db_gb);
+        assert_eq!(s.queries, 60);
     }
 
     #[test]

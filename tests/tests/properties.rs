@@ -238,7 +238,7 @@ proptest! {
         let cost: Vec<Vec<u64>> = (0..n)
             .map(|_| (0..n).map(|_| rng.gen_range(0..10_000u64)).collect())
             .collect();
-        let (_, best) = hungarian(&cost);
+        let (_, best) = hungarian(&cost).unwrap();
         let identity: u64 = (0..n).map(|i| cost[i][i]).sum();
         prop_assert!(best <= identity);
         // A few random permutations.
