@@ -34,9 +34,10 @@ USAGE:
                                    fixed-seed workload and emit the
                                    comparison as a snapshot
   nashdb-bench scenarios [OPTIONS] sweep the scenario matrix (workload ×
-                                   drift × node mix × replication budget),
-                                   run NashDB and both baselines per cell,
-                                   and emit the Pareto-marked artifact
+                                   drift × node mix × replication budget ×
+                                   fault schedule), run NashDB and both
+                                   baselines per cell, and emit the
+                                   Pareto-marked artifact
   nashdb-bench validate FILE       parse and schema-check a snapshot file
                                    (perf snapshots are recognized by their
                                    kind=perf label and checked against the
@@ -78,7 +79,8 @@ SCENARIOS OPTIONS:
   --seed N          workload RNG seed shared by every cell (default 42)
   --queries N       approximate queries per cell (default 60)
   --size-gb N       database size per cell in GB-equivalents (default 24)
-  --quick           sweep only a 4-cell corner of the matrix (debug runs)
+  --quick           sweep only a 5-cell corner of the matrix, one with a
+                    crash schedule (debug runs)
   --keep-timings    keep host wall-clock per cell instead of scrubbing it
                     (scrubbing is the default so same-seed artifacts are
                     byte-identical)

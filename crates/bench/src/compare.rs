@@ -374,6 +374,7 @@ mod tests {
             drift: "steady".to_owned(),
             mix: "uniform".to_owned(),
             budget: "tight".to_owned(),
+            faults: "none".to_owned(),
             systems: vec![
                 scenario_point(GATED_SYSTEM, nash_on_front, nash_dominates),
                 scenario_point("threshold", !nash_on_front || nash_dominates == 0, 0),

@@ -6,7 +6,9 @@
 //! of [`TARGET_REPLICAS`] replicas — mirroring how the paper's operators
 //! would have sized `Cost/Disk` against their query prices.
 
-use nashdb::{run_workload, Distributor, NashDbConfig, NashDbDistributor, RunConfig, ScanRouter};
+use nashdb::{
+    run_workload_with_faults, Distributor, NashDbConfig, NashDbDistributor, RunConfig, ScanRouter,
+};
 use nashdb_baselines::{
     GreedySetCover, HypergraphDistributor, ShortestQueue, ThresholdDistributor,
 };
@@ -14,6 +16,7 @@ use nashdb_cluster::{ClusterConfig, Metrics};
 use nashdb_core::economics::NodeSpec;
 use nashdb_core::num::{saturating_u64, usize_from};
 use nashdb_core::routing::MaxOfMins;
+use nashdb_sim::fault::FaultSchedule;
 use nashdb_sim::SimDuration;
 use nashdb_workload::Workload;
 
@@ -108,6 +111,7 @@ impl ExpEnv {
             throughput_tps: 200_000.0, // ≈200 MB/s sequential scan
             node_cost_per_hour: cost,
             metrics_bucket: SimDuration::from_secs(60),
+            network: None,
         };
         // Read-block cap: a single fragment read should take ~10 s of disk
         // time, as with block-sized fragments in the paper (fragments are
@@ -224,6 +228,19 @@ pub fn with_price_mult(w: &Workload, mult: f64) -> Workload {
 
 /// Runs `system` × `router` on `workload` under `env`, returning metrics.
 pub fn run_system(workload: &Workload, system: System, router: Router, env: &ExpEnv) -> Metrics {
+    run_system_with_faults(workload, system, router, env, &FaultSchedule::none())
+}
+
+/// [`run_system`] with a seeded fault schedule injected into the cluster
+/// sim — every system faces the identical crashes and stragglers, so the
+/// availability comparison is apples to apples.
+pub fn run_system_with_faults(
+    workload: &Workload,
+    system: System,
+    router: Router,
+    env: &ExpEnv,
+    faults: &FaultSchedule,
+) -> Metrics {
     let routed: Box<dyn ScanRouter> = match router {
         Router::MaxOfMins => Box::new(MaxOfMins::new(env.phi_tuples())),
         Router::ShortestQueue => Box::new(ShortestQueue),
@@ -237,17 +254,17 @@ pub fn run_system(workload: &Workload, system: System, router: Router, env: &Exp
                 with_price_mult(workload, price_mult)
             };
             let mut dist = NashDbDistributor::new(&w.db, env.nash);
-            run_workload(&w, &mut dist, routed.as_ref(), &env.run)
+            run_workload_with_faults(&w, &mut dist, routed.as_ref(), &env.run, faults)
         }
         System::Hypergraph { parts } => {
             let mut dist = HypergraphDistributor::new(&workload.db, parts, env.disk, WINDOW)
                 .with_block(env.block());
-            run_workload(workload, &mut dist, routed.as_ref(), &env.run)
+            run_workload_with_faults(workload, &mut dist, routed.as_ref(), &env.run, faults)
         }
         System::Threshold { nodes } => {
             let mut dist = ThresholdDistributor::new(&workload.db, nodes, env.disk, WINDOW)
                 .with_block(env.block());
-            run_workload(workload, &mut dist, routed.as_ref(), &env.run)
+            run_workload_with_faults(workload, &mut dist, routed.as_ref(), &env.run, faults)
         }
     }
 }

@@ -10,11 +10,17 @@
 //! default timing scrub) byte-identical across same-seed runs, which is
 //! what lets CI diff it against the committed `SCENARIO_BASELINE.json`.
 
+use nashdb_cluster::NetConfig;
 use nashdb_core::replication::hetero::MixPreset;
 use nashdb_obs::{CellSnapshot, ScenarioArtifact, SystemPoint, SCENARIO_VERSION};
-use nashdb_workload::matrix::{DriftLevel, GeneratorKind, MatrixError, MatrixWorkloadSpec};
+use nashdb_sim::fault::{FaultSchedule, FaultScheduleConfig};
+use nashdb_sim::SimDuration;
+use nashdb_workload::matrix::{
+    DriftLevel, FaultLevel, GeneratorKind, MatrixError, MatrixWorkloadSpec,
+};
+use nashdb_workload::Workload;
 
-use crate::env::{min_nodes, run_system, ExpEnv, Router, System};
+use crate::env::{min_nodes, run_system_with_faults, ExpEnv, Router, System};
 use crate::experiments::pareto::{pareto_front, Point};
 
 /// Stable system names, in the order each cell reports them.
@@ -59,6 +65,10 @@ pub struct ScenarioCell {
     pub mix: MixPreset,
     /// Replication budget.
     pub budget: BudgetLevel,
+    /// Fault-schedule level ([`FaultLevel::None`] for the legacy
+    /// failure-free matrix; fault cells also turn on the shared-link network
+    /// model so crashes interact with transfer traffic).
+    pub faults: FaultLevel,
 }
 
 /// Runner parameters. The defaults are what CI runs.
@@ -70,8 +80,8 @@ pub struct ScenarioConfig {
     pub size_gb: u64,
     /// Approximate queries per cell.
     pub queries: usize,
-    /// Sweep only a 4-cell corner of the matrix (debug-mode tests; CI runs
-    /// the full matrix in release).
+    /// Sweep only a 5-cell corner of the matrix, one cell with a crash
+    /// schedule (debug-mode tests; CI runs the full matrix in release).
     pub quick: bool,
     /// Keep host wall-clock timings instead of scrubbing them (scrubbing is
     /// the default so same-seed artifacts are byte-identical).
@@ -144,12 +154,82 @@ pub fn matrix_cells(cfg: &ScenarioConfig) -> Vec<ScenarioCell> {
                         drift,
                         mix,
                         budget,
+                        faults: FaultLevel::None,
                     });
                 }
             }
         }
     }
+    // The failure axis: a one-dimensional extension (steady drift, uniform
+    // mix, ample budget) rather than a full cross product, which keeps the
+    // cell count in budget while still asking the motivating question — does
+    // value-proportional replication degrade more gracefully when replicas
+    // vanish? New cells are warn-only under the baseline gate until the
+    // baseline is regenerated to include them.
+    let fault_levels: &[FaultLevel] = if cfg.quick {
+        &[FaultLevel::Crash]
+    } else {
+        &[FaultLevel::Crash, FaultLevel::Chaos]
+    };
+    let fault_generators: &[GeneratorKind] = if cfg.quick {
+        &[GeneratorKind::Bernoulli]
+    } else {
+        &GeneratorKind::ALL
+    };
+    for &generator in fault_generators {
+        for &faults in fault_levels {
+            cells.push(ScenarioCell {
+                generator,
+                drift: DriftLevel::Steady,
+                mix: MixPreset::Uniform,
+                budget: BudgetLevel::Ample,
+                faults,
+            });
+        }
+    }
     cells
+}
+
+/// The seeded fault schedule for a cell, sized to the run: faults land in
+/// the middle 80% of the workload's span (arrivals plus an estimated drain
+/// tail for batch workloads, which arrive all at once).
+fn cell_faults(level: FaultLevel, w: &Workload, env: &ExpEnv, seed: u64) -> FaultSchedule {
+    if level == FaultLevel::None {
+        return FaultSchedule::none();
+    }
+    let last_arrival = w
+        .queries
+        .last()
+        .map_or(SimDuration::ZERO, |q| q.at.saturating_since(nashdb_sim::SimTime::ZERO));
+    let drain_est = SimDuration::from_secs_f64(
+        w.total_read() as f64 / (env.run.cluster.throughput_tps * 4.0),
+    );
+    let horizon = (last_arrival + drain_est).max(SimDuration::from_secs(60));
+    let tenth = SimDuration::from_secs_f64(horizon.as_secs_f64() / 10.0);
+    let base = FaultScheduleConfig {
+        seed,
+        horizon,
+        nodes: 4,
+        down_for: tenth,
+        slowdown: 4.0,
+        straggle_for: tenth,
+        ..FaultScheduleConfig::default()
+    };
+    match level {
+        FaultLevel::None => FaultSchedule::none(),
+        FaultLevel::Crash => FaultSchedule::generate(&FaultScheduleConfig {
+            crashes: 0,
+            restarts: 1,
+            stragglers: 0,
+            ..base
+        }),
+        FaultLevel::Chaos => FaultSchedule::generate(&FaultScheduleConfig {
+            crashes: 1,
+            restarts: 1,
+            stragglers: 2,
+            ..base
+        }),
+    }
 }
 
 /// Runs one cell: builds the workload, applies the mix and budget to the
@@ -185,6 +265,18 @@ fn run_cell(cell: &ScenarioCell, cfg: &ScenarioConfig) -> Result<CellSnapshot, S
     // to a whole disk make near-floor packings infeasible.
     env.nash.max_fragment_tuples = env.nash.max_fragment_tuples.min((env.disk / 8).max(1));
 
+    // Fault cells run with the network model on (NIC at 5×, core at 10× the
+    // disk rate: mild contention) so crashes interact with transfer traffic;
+    // failure-free cells keep the legacy free network and are byte-identical
+    // to the committed baseline.
+    let faults = cell_faults(cell.faults, &w, &env, cfg.seed);
+    if cell.faults != FaultLevel::None {
+        env.run.cluster.network = Some(NetConfig {
+            nic_tps: 1_000_000,
+            core_tps: 2_000_000,
+        });
+    }
+
     // Threshold's range-partitioned base layer needs slack above the raw
     // feasibility floor when block sizes are skewed, so "tight" still grants
     // 25% headroom; "ample" doubles the floor.
@@ -200,33 +292,36 @@ fn run_cell(cell: &ScenarioCell, cfg: &ScenarioConfig) -> Result<CellSnapshot, S
     let runs = [
         (
             SYSTEM_NAMES[0],
-            run_system(
+            run_system_with_faults(
                 &w,
                 System::NashDb { price_mult: 1.0 },
                 Router::MaxOfMins,
                 &env,
+                &faults,
             ),
         ),
         (
             SYSTEM_NAMES[1],
-            run_system(
+            run_system_with_faults(
                 &w,
                 System::Hypergraph {
                     parts: baseline_nodes,
                 },
                 Router::MaxOfMins,
                 &env,
+                &faults,
             ),
         ),
         (
             SYSTEM_NAMES[2],
-            run_system(
+            run_system_with_faults(
                 &w,
                 System::Threshold {
                     nodes: baseline_nodes,
                 },
                 Router::MaxOfMins,
                 &env,
+                &faults,
             ),
         ),
     ];
@@ -269,6 +364,7 @@ fn run_cell(cell: &ScenarioCell, cfg: &ScenarioConfig) -> Result<CellSnapshot, S
         drift: cell.drift.name().to_owned(),
         mix: cell.mix.name().to_owned(),
         budget: cell.budget.name().to_owned(),
+        faults: cell.faults.name().to_owned(),
         systems,
         wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
     })
@@ -315,18 +411,28 @@ mod tests {
     fn full_matrix_covers_the_required_cells() {
         let cells = matrix_cells(&ScenarioConfig::default());
         assert!(cells.len() >= 24, "only {} cells", cells.len());
-        // 5 generators × 2 drifts × 2 mixes × 2 budgets.
-        assert_eq!(cells.len(), 40);
+        // 5 generators × 2 drifts × 2 mixes × 2 budgets failure-free cells,
+        // plus the failure axis: 5 generators × 2 fault levels.
+        assert_eq!(cells.len(), 50);
+        assert_eq!(
+            cells
+                .iter()
+                .filter(|c| c.faults == FaultLevel::None)
+                .count(),
+            40,
+            "legacy failure-free cells must be preserved exactly"
+        );
         // Keys are unique.
         let mut keys: Vec<String> = cells
             .iter()
             .map(|c| {
                 format!(
-                    "{}/{}/{}/{}",
+                    "{}/{}/{}/{}/{}",
                     c.generator.name(),
                     c.drift.name(),
                     c.mix.name(),
-                    c.budget.name()
+                    c.budget.name(),
+                    c.faults.name()
                 )
             })
             .collect();
@@ -341,7 +447,14 @@ mod tests {
             quick: true,
             ..ScenarioConfig::default()
         });
-        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), 5);
+        assert_eq!(
+            cells
+                .iter()
+                .filter(|c| c.faults != FaultLevel::None)
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -352,12 +465,18 @@ mod tests {
             ..ScenarioConfig::default()
         };
         let art = run_scenarios(&cfg).unwrap();
-        assert_eq!(art.cells.len(), 4);
+        assert_eq!(art.cells.len(), 5);
         for cell in &art.cells {
             assert_eq!(cell.systems.len(), SYSTEM_NAMES.len());
             assert_eq!(cell.wall_ns, 0, "timings must be scrubbed by default");
             assert!(cell.systems.iter().any(|s| s.on_front));
         }
+        // The fault cell is keyed with the fifth segment and every system
+        // still completed a comparable run in it.
+        let fault_cell = art
+            .cell("bernoulli/steady/uniform/ample/crash")
+            .expect("fault cell missing");
+        assert_eq!(fault_cell.systems.len(), SYSTEM_NAMES.len());
         // Round-trips through the schema validator byte-identically.
         let text = art.to_json_string();
         let parsed = ScenarioArtifact::from_json_str(&text).unwrap();

@@ -74,6 +74,7 @@ pub fn run_smoke(cfg: &SmokeConfig) -> ObsSnapshot {
             throughput_tps: 1_000_000.0,
             node_cost_per_hour: 100.0,
             metrics_bucket: SimDuration::from_secs(600),
+            network: None,
         },
         // Short interval so the run exercises reconfiguration transitions,
         // not just the initial provision.

@@ -17,12 +17,21 @@
 //!   the receiving node's disk queue (so transition overhead shows up in
 //!   query latency, as in the paper's measurements),
 //! * **monetary cost** accrues per node-hour from provisioning to
-//!   retirement.
+//!   retirement,
+//! * an optional **shared-link network model** ("one big switch": per-node
+//!   NICs into a contended core link) charges fragment reads and transition
+//!   transfers for bandwidth, so concurrent flows delay each other,
+//! * **seeded fault schedules** inject node crashes (queued jobs lost,
+//!   affected queries handed back to the driver for retry),
+//!   crash-with-restart, and straggler windows, with availability counters
+//!   ([`metrics::Availability`]) accumulating the fallout.
 //!
-//! The simulator is policy-free: *which* node serves a read and *when* the
-//! cluster reconfigures are decided by the driver (the `nashdb` facade or a
-//! baseline system), which is what lets every system in the paper's
-//! evaluation run on the identical substrate.
+//! The simulator is policy-free: *which* node serves a read, *when* the
+//! cluster reconfigures, and *how* to react to a crashed replica
+//! ([`DriverEvent::NodeFailed`] / [`DriverEvent::QueryFailed`]) are decided
+//! by the driver (the `nashdb` facade or a baseline system), which is what
+//! lets every system in the paper's evaluation run on the identical
+//! substrate.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,5 +39,8 @@
 pub mod metrics;
 mod sim;
 
-pub use metrics::{CostLatency, Metrics, QueryRecord};
-pub use sim::{ClusterConfig, ClusterSim, DispatchError, DriverEvent, QueryRequest, ScanRange};
+pub use metrics::{Availability, CostLatency, Metrics, QueryRecord};
+pub use sim::{
+    ClusterConfig, ClusterSim, DispatchError, DriverEvent, NetConfig, QueryRequest,
+    ReconfigureError, ScanRange,
+};

@@ -26,6 +26,37 @@ impl QueryRecord {
     }
 }
 
+/// Availability accounting for a run with faults injected. All counters
+/// stay zero on a fault-free run, so legacy snapshots are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Availability {
+    /// Query attempts that lost a fragment read to a node crash and were
+    /// handed back to the driver.
+    pub queries_failed: u64,
+    /// Failed queries the driver re-dispatched.
+    pub queries_retried: u64,
+    /// Failed queries the driver gave up on (no live replica set).
+    pub queries_abandoned: u64,
+    /// Node crash events applied (with or without restart).
+    pub node_crashes: u64,
+    /// Crashed nodes that came back.
+    pub node_restarts: u64,
+    /// Scheduled faults dropped because their target slot was unmapped or
+    /// the node was already down/retired.
+    pub faults_skipped: u64,
+    /// Disk jobs (reads and transfer writes) evaporated by crashes.
+    pub jobs_lost: u64,
+    /// Tuples of queued work and in-flight transfers lost to crashes.
+    pub tuples_lost: u64,
+    /// Fragment reads served for an attempt that had already failed (work
+    /// done for nobody).
+    pub reads_wasted: u64,
+    /// Total simulated time during which some logical node mapped to a
+    /// crashed physical node — the scheme promised replicas the cluster
+    /// could not serve.
+    pub degraded: SimDuration,
+}
+
 /// All measurements from one simulation run.
 #[derive(Debug)]
 pub struct Metrics {
@@ -47,6 +78,8 @@ pub struct Metrics {
     /// Per retired node: fraction of its provisioned lifetime its disk was
     /// busy (pushed when the node retires or the run ends).
     pub node_utilization: Vec<f64>,
+    /// Availability accounting (all-zero when no faults were injected).
+    pub availability: Availability,
 }
 
 impl Metrics {
@@ -60,6 +93,7 @@ impl Metrics {
             reconfigurations: 0,
             peak_nodes: 0,
             node_utilization: Vec::new(),
+            availability: Availability::default(),
         }
     }
 

@@ -1,12 +1,28 @@
 //! The event-driven cluster simulator.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use nashdb_core::ids::{NodeId, QueryId, TableId};
 use nashdb_core::transition::{NodeMove, TransitionPlan};
+use nashdb_sim::fault::{FaultKind, FaultSchedule};
+use nashdb_sim::net::SharedLink;
 use nashdb_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::metrics::{Metrics, QueryRecord};
+
+/// The "one big switch" network model: every node owns a NIC link, and all
+/// NICs feed one shared core link. A fragment read crosses its server's NIC
+/// and then the core on its way back to the client; a transition transfer
+/// crosses the core and then the receiving node's NIC before its disk
+/// write. Concurrent flows on the same link delay each other FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Tuples per second each node's NIC carries.
+    pub nic_tps: u64,
+    /// Tuples per second the shared core link carries (the contended
+    /// resource: all nodes' traffic crosses it).
+    pub core_tps: u64,
+}
 
 /// Simulator parameters.
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +35,10 @@ pub struct ClusterConfig {
     pub node_cost_per_hour: f64,
     /// Bucket width for the throughput-over-time series.
     pub metrics_bucket: SimDuration,
+    /// Optional shared-link network model. `None` (the default) keeps the
+    /// legacy free-instantaneous network: reads complete at disk completion
+    /// and transfers only cost disk time at the receiver.
+    pub network: Option<NetConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -29,6 +49,7 @@ impl Default for ClusterConfig {
             throughput_tps: 10_000_000.0,
             node_cost_per_hour: 100.0,
             metrics_bucket: SimDuration::from_secs(60),
+            network: None,
         }
     }
 }
@@ -76,7 +97,8 @@ pub struct QueryRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub enum DriverEvent {
     /// A query has arrived and must now be routed: the driver must call
-    /// [`ClusterSim::dispatch`] before pulling the next event.
+    /// [`ClusterSim::dispatch`] (or [`ClusterSim::abandon_query`]) before
+    /// pulling the next event.
     QueryArrived {
         /// The query's id.
         id: QueryId,
@@ -90,6 +112,31 @@ pub enum DriverEvent {
         /// Its end-to-end latency.
         latency: SimDuration,
     },
+    /// A node crashed: its queued work is gone and it accepts no dispatches
+    /// until (if ever) it restarts. Queries that lost reads follow as
+    /// [`DriverEvent::QueryFailed`] events. `node` is the logical slot at
+    /// crash time; [`ClusterSim::node_alive`] stays authoritative across
+    /// later reconfigurations.
+    NodeFailed {
+        /// The crashed node's logical slot.
+        node: NodeId,
+    },
+    /// A crashed node restarted and accepts dispatches again.
+    NodeRestored {
+        /// The restored node's current logical slot.
+        node: NodeId,
+    },
+    /// A query lost a fragment read to a node crash. The driver must either
+    /// re-dispatch it ([`ClusterSim::dispatch`] — the original arrival time
+    /// is preserved, so the retry's latency includes the lost attempt) or
+    /// give up ([`ClusterSim::abandon_query`]) before pulling the next
+    /// event.
+    QueryFailed {
+        /// The failed query.
+        id: QueryId,
+        /// Attempts made so far (1 after the first failure).
+        attempts: u32,
+    },
     /// A driver-scheduled timer fired (used for reconfiguration intervals).
     Wakeup {
         /// The tag passed to [`ClusterSim::schedule_wakeup`].
@@ -100,12 +147,19 @@ pub enum DriverEvent {
 }
 
 /// Why a [`ClusterSim::dispatch`] call was rejected. The simulator is left
-/// untouched: no read of the rejected query is enqueued.
+/// untouched: no read of the rejected query is enqueued, and a query that
+/// was awaiting dispatch still is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchError {
-    /// The query already had its reads dispatched.
+    /// The query already had its reads dispatched (it is running, completed,
+    /// or was abandoned).
     DuplicateQuery {
         /// The query dispatched twice.
+        id: QueryId,
+    },
+    /// The query was never scheduled, or has not arrived / failed yet.
+    UnknownQuery {
+        /// The unknown query.
         id: QueryId,
     },
     /// A read targets a node id outside the current scheme.
@@ -118,6 +172,11 @@ pub enum DispatchError {
         /// The retiring node.
         node: NodeId,
     },
+    /// A read targets a crashed node.
+    FailedNode {
+        /// The crashed node.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for DispatchError {
@@ -126,11 +185,17 @@ impl std::fmt::Display for DispatchError {
             DispatchError::DuplicateQuery { id } => {
                 write!(f, "query {id} dispatched twice")
             }
+            DispatchError::UnknownQuery { id } => {
+                write!(f, "query {id} is not awaiting dispatch")
+            }
             DispatchError::UnknownNode { node } => {
                 write!(f, "dispatch to unknown node {node}")
             }
             DispatchError::InactiveNode { node } => {
                 write!(f, "dispatch to retiring node {node}")
+            }
+            DispatchError::FailedNode { node } => {
+                write!(f, "dispatch to crashed node {node}")
             }
         }
     }
@@ -138,18 +203,82 @@ impl std::fmt::Display for DispatchError {
 
 impl std::error::Error for DispatchError {}
 
+/// Why a [`ClusterSim::reconfigure`] call rejected its plan. The simulator
+/// is left untouched: no node is provisioned, decommissioned, or sent a
+/// transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigureError {
+    /// A move names an old node outside the current cluster.
+    UnknownOldNode {
+        /// The out-of-range old node.
+        node: NodeId,
+    },
+    /// Two moves target the same new node slot.
+    DuplicateNewNode {
+        /// The doubly-assigned new slot.
+        node: NodeId,
+    },
+    /// A new node slot below the plan's maximum is assigned by no move.
+    UncoveredNewNode {
+        /// The uncovered slot.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigureError::UnknownOldNode { node } => {
+                write!(f, "transition plan references unknown old node {node}")
+            }
+            ReconfigureError::DuplicateNewNode { node } => {
+                write!(f, "transition plan assigns new node {node} twice")
+            }
+            ReconfigureError::UncoveredNewNode { node } => {
+                write!(f, "transition plan does not cover new node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {}
+
 #[derive(Debug)]
 enum Event {
     Arrival(QueryId),
-    JobDone { phys: usize },
+    JobDone {
+        phys: usize,
+        /// The node's crash epoch when the job started; a crash bumps the
+        /// epoch, invalidating completions already in flight.
+        epoch: u64,
+    },
+    /// A transition transfer finished crossing the network and reaches the
+    /// receiving node's disk.
+    NetArrival {
+        phys: usize,
+        epoch: u64,
+        tuples: u64,
+    },
+    /// A fragment read finished crossing the network back to the client.
+    NetDelivery {
+        id: QueryId,
+        attempt: u32,
+        tuples: u64,
+    },
+    /// A scheduled fault fires against a logical slot.
+    Fault { node: u64, kind: FaultKind },
+    /// A crashed node finishes rebooting.
+    Restart { phys: usize },
     Wakeup(u64),
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Job {
     tuples: u64,
-    /// `Some` for a query fragment read, `None` for a transfer write.
-    query: Option<QueryId>,
+    /// `Some` for a query fragment read (tagged with the dispatch attempt,
+    /// so reads of a superseded attempt cannot complete a retried query),
+    /// `None` for a transfer write.
+    query: Option<(QueryId, u32)>,
 }
 
 #[derive(Debug)]
@@ -157,11 +286,22 @@ struct PhysNode {
     queue: VecDeque<Job>,
     /// The job currently on the disk, if any.
     in_service: Option<Job>,
+    /// When the in-service job started (its service time is completion −
+    /// start, which a straggler window can stretch).
+    service_started: SimTime,
     /// Tuples of work enqueued and not yet completed (including the
     /// in-service job, in full — queue wait as a router sees it).
     backlog: u64,
     /// Accepts new work (false once decommissioned; it drains then retires).
     active: bool,
+    /// Crashed and not (yet) restarted.
+    failed: bool,
+    /// Bumped at every crash; events carrying an older epoch are stale.
+    epoch: u64,
+    /// Straggler window: jobs *started* before `slow_until` take
+    /// `slow_factor` times longer.
+    slow_until: SimTime,
+    slow_factor: f64,
     provisioned_at: SimTime,
     retired_at: Option<SimTime>,
     /// Total disk time spent serving jobs.
@@ -172,8 +312,26 @@ struct PhysNode {
 #[derive(Debug)]
 struct QueryState {
     arrival: SimTime,
+    /// Which dispatch attempt these reads belong to.
+    attempt: u32,
     pending: usize,
     nodes: HashSet<usize>,
+}
+
+/// A query waiting for the driver to dispatch (or re-dispatch) it.
+#[derive(Debug, Clone, Copy)]
+struct AwaitingState {
+    arrival: SimTime,
+    /// Attempts already made (0 for a fresh arrival).
+    attempt: u32,
+}
+
+#[derive(Debug)]
+struct NetState {
+    nic_tps: u64,
+    core: SharedLink,
+    /// One NIC per physical node (same indexing as `ClusterSim::phys`).
+    nics: Vec<SharedLink>,
 }
 
 /// The cluster simulator. See the crate docs for the driving protocol.
@@ -185,7 +343,18 @@ pub struct ClusterSim {
     /// Logical scheme node -> physical node.
     logical: Vec<usize>,
     pending: HashMap<QueryId, QueryRequest>,
+    /// Arrived (or crash-failed) queries the driver has not dispatched yet.
+    awaiting: HashMap<QueryId, AwaitingState>,
     running: HashMap<QueryId, QueryState>,
+    /// Queries that finished (completed or abandoned) — re-dispatching one
+    /// is a duplicate, not an unknown.
+    done: HashSet<QueryId>,
+    /// Driver events synthesized by fault handling, drained before the
+    /// event queue (FIFO, so NodeFailed precedes its QueryFailed fallout).
+    driver_queue: VecDeque<DriverEvent>,
+    net: Option<NetState>,
+    /// Start of the current window in which some mapped node is down.
+    degraded_since: Option<SimTime>,
     metrics: Metrics,
     next_query: u64,
 }
@@ -202,13 +371,23 @@ impl ClusterSim {
             "node cost must be nonnegative"
         );
         let metrics = Metrics::new(cfg.metrics_bucket);
+        let net = cfg.network.map(|n| NetState {
+            nic_tps: n.nic_tps,
+            core: SharedLink::new(n.core_tps),
+            nics: Vec::new(),
+        });
         ClusterSim {
             cfg,
             events: EventQueue::new(),
             phys: Vec::new(),
             logical: Vec::new(),
             pending: HashMap::new(),
+            awaiting: HashMap::new(),
             running: HashMap::new(),
+            done: HashSet::new(),
+            driver_queue: VecDeque::new(),
+            net,
+            degraded_since: None,
             metrics,
             next_query: 0,
         }
@@ -235,6 +414,15 @@ impl ClusterSim {
         self.logical.iter().map(|&p| self.phys[p].backlog).collect()
     }
 
+    /// Whether the logical node is mapped and not crashed. Routing to a node
+    /// for which this returns `false` is rejected by
+    /// [`dispatch`](Self::dispatch).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.logical
+            .get(node.index())
+            .is_some_and(|&p| !self.phys[p].failed)
+    }
+
     /// Schedules a query to arrive at `at`. Returns its id.
     pub fn schedule_query(&mut self, at: SimTime, query: QueryRequest) -> QueryId {
         let id = QueryId(self.next_query);
@@ -249,18 +437,55 @@ impl ClusterSim {
         self.events.schedule(at, Event::Wakeup(tag));
     }
 
-    /// Routes an arrived query: one `(node, tuples)` read per fragment
-    /// request. Must be called exactly once per `QueryArrived` event, before
-    /// the next [`next_event`](Self::next_event) call.
+    /// Schedules every event of a fault schedule. Faults target logical
+    /// slots, resolved when they fire; a fault aimed at a slot the cluster
+    /// does not have then (or at a node already down) is counted as skipped,
+    /// never an error. Call before driving, like
+    /// [`schedule_query`](Self::schedule_query).
+    pub fn schedule_faults(&mut self, schedule: &FaultSchedule) {
+        for ev in schedule.events() {
+            self.events.schedule(
+                ev.at,
+                Event::Fault {
+                    node: ev.node,
+                    kind: ev.kind,
+                },
+            );
+        }
+    }
+
+    /// Gives up on a query the driver cannot (or will not) dispatch — e.g.
+    /// every replica of a fragment it needs is on crashed nodes. The query
+    /// is recorded as abandoned and produces no [`QueryRecord`]. Returns
+    /// `false` if the query was not awaiting dispatch.
+    pub fn abandon_query(&mut self, id: QueryId) -> bool {
+        if self.awaiting.remove(&id).is_none() {
+            return false;
+        }
+        self.done.insert(id);
+        self.metrics.availability.queries_abandoned =
+            self.metrics.availability.queries_abandoned.saturating_add(1);
+        nashdb_obs::counter_add("cluster.queries_abandoned", 1);
+        true
+    }
+
+    /// Routes an arrived (or crash-failed) query: one `(node, tuples)` read
+    /// per fragment request. Must be called exactly once per `QueryArrived`
+    /// or `QueryFailed` event, before the next
+    /// [`next_event`](Self::next_event) call.
     ///
     /// # Errors
     /// Rejects the dispatch — leaving the simulator untouched — if the query
-    /// was already dispatched, a node id is out of range, or a target node
-    /// is draining toward retirement.
+    /// is not awaiting dispatch (never scheduled, or already dispatched,
+    /// completed, or abandoned), a node id is out of range, a target node is
+    /// draining toward retirement, or a target node is crashed.
     pub fn dispatch(&mut self, id: QueryId, reads: &[(NodeId, u64)]) -> Result<(), DispatchError> {
-        if self.running.contains_key(&id) {
+        if self.running.contains_key(&id) || self.done.contains(&id) {
             return Err(DispatchError::DuplicateQuery { id });
         }
+        let Some(&waiting) = self.awaiting.get(&id) else {
+            return Err(DispatchError::UnknownQuery { id });
+        };
         // Validate every read before enqueueing any, so a rejected dispatch
         // leaves no partial work behind.
         let mut targets = Vec::with_capacity(reads.len());
@@ -269,18 +494,27 @@ impl ClusterSim {
                 .logical
                 .get(node.index())
                 .ok_or(DispatchError::UnknownNode { node })?;
+            if self.phys[phys].failed {
+                return Err(DispatchError::FailedNode { node });
+            }
             if !self.phys[phys].active {
                 return Err(DispatchError::InactiveNode { node });
             }
             targets.push(phys);
         }
-        let now = self.now();
+        self.awaiting.remove(&id);
+        if waiting.attempt > 0 {
+            self.metrics.availability.queries_retried =
+                self.metrics.availability.queries_retried.saturating_add(1);
+            nashdb_obs::counter_add("cluster.queries_retried", 1);
+        }
         if reads.is_empty() {
             // Nothing to read: completes instantly.
             self.complete_query(
                 id,
                 &QueryState {
-                    arrival: now,
+                    arrival: waiting.arrival,
+                    attempt: waiting.attempt,
                     pending: 0,
                     nodes: HashSet::new(),
                 },
@@ -288,7 +522,8 @@ impl ClusterSim {
             return Ok(());
         }
         let mut state = QueryState {
-            arrival: now,
+            arrival: waiting.arrival,
+            attempt: waiting.attempt,
             pending: reads.len(),
             nodes: HashSet::new(),
         };
@@ -298,7 +533,7 @@ impl ClusterSim {
                 phys,
                 Job {
                     tuples,
-                    query: Some(id),
+                    query: Some((id, waiting.attempt)),
                 },
             );
         }
@@ -308,13 +543,15 @@ impl ClusterSim {
     }
 
     /// Applies a transition plan: reused nodes keep their queues (and
-    /// receive their transfer as a queued write), fresh nodes are
-    /// provisioned, decommissioned nodes drain and retire.
+    /// receive their transfer as a queued write — crossing the network first
+    /// when the network model is on), fresh nodes are provisioned,
+    /// decommissioned nodes drain and retire.
     ///
-    /// # Panics
-    /// Panics if the plan's old-node ids do not match the current cluster.
-    pub fn reconfigure(&mut self, plan: &TransitionPlan) {
-        let now = self.now();
+    /// # Errors
+    /// Rejects the plan — leaving the simulator untouched — if it references
+    /// an old node outside the current cluster, assigns a new slot twice, or
+    /// leaves a new slot unassigned.
+    pub fn reconfigure(&mut self, plan: &TransitionPlan) -> Result<(), ReconfigureError> {
         let new_count = plan
             .moves
             .iter()
@@ -327,6 +564,38 @@ impl ClusterSim {
             .max()
             .unwrap_or(0);
 
+        // Validate the whole plan before touching anything, so a rejected
+        // plan leaves no partial transition behind.
+        let mut covered = vec![false; new_count];
+        for m in &plan.moves {
+            match *m {
+                NodeMove::Reuse { old, new, .. } => {
+                    if old.index() >= self.logical.len() {
+                        return Err(ReconfigureError::UnknownOldNode { node: old });
+                    }
+                    if std::mem::replace(&mut covered[new.index()], true) {
+                        return Err(ReconfigureError::DuplicateNewNode { node: new });
+                    }
+                }
+                NodeMove::Provision { new, .. } => {
+                    if std::mem::replace(&mut covered[new.index()], true) {
+                        return Err(ReconfigureError::DuplicateNewNode { node: new });
+                    }
+                }
+                NodeMove::Decommission { old } => {
+                    if old.index() >= self.logical.len() {
+                        return Err(ReconfigureError::UnknownOldNode { node: old });
+                    }
+                }
+            }
+        }
+        if let Some(slot) = covered.iter().position(|&c| !c) {
+            return Err(ReconfigureError::UncoveredNewNode {
+                node: NodeId(u64::try_from(slot).unwrap_or(u64::MAX)),
+            });
+        }
+
+        let now = self.now();
         let old_logical = std::mem::take(&mut self.logical);
         let mut new_logical = vec![usize::MAX; new_count];
         let mut total_transfer = 0u64;
@@ -337,13 +606,7 @@ impl ClusterSim {
                     let phys = old_logical[old.index()];
                     new_logical[new.index()] = phys;
                     if transfer > 0 {
-                        self.enqueue_job(
-                            phys,
-                            Job {
-                                tuples: transfer,
-                                query: None,
-                            },
-                        );
+                        self.enqueue_transfer(phys, transfer);
                         total_transfer = total_transfer.saturating_add(transfer);
                     }
                 }
@@ -352,22 +615,24 @@ impl ClusterSim {
                     self.phys.push(PhysNode {
                         queue: VecDeque::new(),
                         in_service: None,
+                        service_started: now,
                         backlog: 0,
                         active: true,
+                        failed: false,
+                        epoch: 0,
+                        slow_until: SimTime::ZERO,
+                        slow_factor: 1.0,
                         provisioned_at: now,
                         retired_at: None,
                         busy: SimDuration::ZERO,
                         retired: false,
                     });
+                    if let Some(net) = &mut self.net {
+                        net.nics.push(SharedLink::new(net.nic_tps));
+                    }
                     new_logical[new.index()] = phys;
                     if transfer > 0 {
-                        self.enqueue_job(
-                            phys,
-                            Job {
-                                tuples: transfer,
-                                query: None,
-                            },
-                        );
+                        self.enqueue_transfer(phys, transfer);
                         total_transfer = total_transfer.saturating_add(transfer);
                     }
                 }
@@ -378,10 +643,6 @@ impl ClusterSim {
                 }
             }
         }
-        assert!(
-            new_logical.iter().all(|&p| p != usize::MAX),
-            "transition plan does not cover every new node"
-        );
         self.logical = new_logical;
         self.metrics.peak_nodes = self.metrics.peak_nodes.max(self.logical.len());
         self.metrics.reconfigurations += 1;
@@ -389,97 +650,246 @@ impl ClusterSim {
         nashdb_obs::counter_add("cluster.reconfigurations", 1);
         nashdb_obs::counter_add("cluster.transfer_tuples", total_transfer);
         nashdb_obs::gauge_set("cluster.nodes", self.logical.len() as f64);
+        self.update_degraded(now);
+        Ok(())
     }
 
     /// Advances the simulation to the next driver-relevant event.
     pub fn next_event(&mut self) -> DriverEvent {
         loop {
+            if let Some(ev) = self.driver_queue.pop_front() {
+                return ev;
+            }
             let Some((now, event)) = self.events.pop() else {
                 return DriverEvent::Finished;
             };
             match event {
                 Event::Arrival(id) => {
-                    let Some(query) = self.pending.remove(&id) else {
-                        unreachable!("arrival event for unscheduled query {id}")
-                    };
-                    return DriverEvent::QueryArrived { id, query };
+                    // Arrivals are scheduled exactly once per id, so the
+                    // lookup only misses if internal state was corrupted;
+                    // skipping is the panic-free fallback.
+                    if let Some(query) = self.pending.remove(&id) {
+                        self.awaiting.insert(
+                            id,
+                            AwaitingState {
+                                arrival: now,
+                                attempt: 0,
+                            },
+                        );
+                        return DriverEvent::QueryArrived { id, query };
+                    }
                 }
                 Event::Wakeup(tag) => return DriverEvent::Wakeup { tag },
-                Event::JobDone { phys } => {
-                    if let Some(done) = self.job_done(phys, now) {
+                Event::JobDone { phys, epoch } => {
+                    if let Some(done) = self.job_done(phys, epoch, now) {
                         return done;
                     }
                 }
+                Event::NetArrival {
+                    phys,
+                    epoch,
+                    tuples,
+                } => {
+                    let node = &self.phys[phys];
+                    if node.epoch == epoch && !node.failed && !node.retired {
+                        self.enqueue_job(
+                            phys,
+                            Job {
+                                tuples,
+                                query: None,
+                            },
+                        );
+                    } else {
+                        // The receiver crashed while the transfer was in
+                        // flight: the copy is lost mid-transition.
+                        self.metrics.availability.tuples_lost =
+                            self.metrics.availability.tuples_lost.saturating_add(tuples);
+                        nashdb_obs::counter_add("cluster.tuples_lost", tuples);
+                    }
+                }
+                Event::NetDelivery {
+                    id,
+                    attempt,
+                    tuples,
+                } => {
+                    if let Some(done) = self.deliver_read(id, attempt, tuples, now) {
+                        return done;
+                    }
+                }
+                Event::Fault { node, kind } => self.apply_fault(now, node, kind),
+                Event::Restart { phys } => self.restart_node(now, phys),
             }
         }
     }
 
-    /// Ends the run: accrues cost for every non-retired node up to the
-    /// current time and returns the metrics.
+    /// Ends the run: closes the degraded-time window, accrues cost for every
+    /// non-retired node up to the current time, and returns the metrics.
     pub fn finish(mut self) -> Metrics {
         let end = self.now();
+        if let Some(since) = self.degraded_since.take() {
+            self.metrics.availability.degraded += end.since(since);
+        }
         for i in 0..self.phys.len() {
             if !self.phys[i].retired {
                 self.accrue(i, end);
             }
         }
+        nashdb_obs::gauge_set(
+            "cluster.degraded_ms",
+            self.metrics.availability.degraded.as_millis() as f64,
+        );
         self.metrics
     }
 
-    fn service_time(&self, tuples: u64) -> SimDuration {
-        SimDuration::from_secs_f64(tuples as f64 / self.cfg.throughput_tps)
+    /// Service time of `tuples` on `phys`'s disk, stretched if the node is
+    /// inside a straggler window when the job starts.
+    fn service_time(&self, phys: usize, tuples: u64) -> SimDuration {
+        let secs = tuples as f64 / self.cfg.throughput_tps;
+        let node = &self.phys[phys];
+        if self.events.now() < node.slow_until {
+            SimDuration::from_secs_f64(secs * node.slow_factor)
+        } else {
+            SimDuration::from_secs_f64(secs)
+        }
     }
 
     fn enqueue_job(&mut self, phys: usize, job: Job) {
+        let now = self.events.now();
+        let service = self.service_time(phys, job.tuples);
         let node = &mut self.phys[phys];
-        node.backlog += job.tuples;
+        node.backlog = node.backlog.saturating_add(job.tuples);
         if node.in_service.is_none() {
             node.in_service = Some(job);
-            let at = self.events.now() + self.service_time(job.tuples);
-            self.events.schedule(at, Event::JobDone { phys });
+            node.service_started = now;
+            let epoch = node.epoch;
+            self.events.schedule(now + service, Event::JobDone { phys, epoch });
         } else {
             node.queue.push_back(job);
         }
     }
 
-    fn job_done(&mut self, phys: usize, now: SimTime) -> Option<DriverEvent> {
+    /// Routes a transition transfer toward `phys`'s disk: directly when the
+    /// network model is off, across core + receiver NIC when it is on. A
+    /// transfer aimed at a node that is already down is lost outright.
+    fn enqueue_transfer(&mut self, phys: usize, tuples: u64) {
+        if self.phys[phys].failed {
+            self.metrics.availability.tuples_lost =
+                self.metrics.availability.tuples_lost.saturating_add(tuples);
+            nashdb_obs::counter_add("cluster.tuples_lost", tuples);
+            return;
+        }
+        let now = self.events.now();
+        let epoch = self.phys[phys].epoch;
+        if let Some(net) = &mut self.net {
+            let off_core = net.core.transmit(now, tuples);
+            let arrives = net.nics[phys].transmit(off_core, tuples);
+            self.events.schedule(
+                arrives,
+                Event::NetArrival {
+                    phys,
+                    epoch,
+                    tuples,
+                },
+            );
+        } else {
+            self.enqueue_job(
+                phys,
+                Job {
+                    tuples,
+                    query: None,
+                },
+            );
+        }
+    }
+
+    fn job_done(&mut self, phys: usize, epoch: u64, now: SimTime) -> Option<DriverEvent> {
+        if self.phys[phys].epoch != epoch {
+            return None; // completion from before a crash: the job is gone
+        }
         let node = &mut self.phys[phys];
         let Some(job) = node.in_service.take() else {
-            unreachable!("JobDone fired for an idle disk")
+            // An epoch-matched JobDone always has a job in service; skipping
+            // is the panic-free fallback.
+            return None;
         };
-        node.backlog -= job.tuples;
-        node.busy += SimDuration::from_secs_f64(job.tuples as f64 / self.cfg.throughput_tps);
+        node.backlog = node.backlog.saturating_sub(job.tuples);
+        node.busy += now.since(node.service_started);
         // Start the next job, if any.
-        if let Some(next) = node.queue.pop_front() {
+        if let Some(next) = self.phys[phys].queue.pop_front() {
+            let service = self.service_time(phys, next.tuples);
+            let node = &mut self.phys[phys];
             node.in_service = Some(next);
-            let at = now + self.service_time(next.tuples);
-            self.events.schedule(at, Event::JobDone { phys });
+            node.service_started = now;
+            let epoch = node.epoch;
+            self.events.schedule(now + service, Event::JobDone { phys, epoch });
         } else {
             self.maybe_retire(phys, now);
         }
 
-        match job.query {
-            None => None, // transfer write finished; nothing to report
-            Some(id) => {
-                self.metrics.read_throughput.add(now, job.tuples as f64);
-                let Some(state) = self.running.get_mut(&id) else {
-                    unreachable!("fragment read finished for unknown query {id}")
-                };
-                state.pending -= 1;
-                if state.pending == 0 {
-                    let Some(state) = self.running.remove(&id) else {
-                        unreachable!("query {id} vanished between pending checks")
-                    };
-                    Some(self.complete_query(id, &state))
-                } else {
-                    None
-                }
-            }
+        let (id, attempt) = job.query?; // transfer write: nothing to report
+        if !self.read_is_fresh(id, attempt) {
+            // The query failed (and was retried or abandoned) while this
+            // read sat in the disk queue: served tuples nobody wants.
+            self.waste_read();
+            return None;
         }
+        if let Some(net) = &mut self.net {
+            // The data still has to cross the server's NIC and the core
+            // link before the client has it.
+            let off_nic = net.nics[phys].transmit(now, job.tuples);
+            let delivered = net.core.transmit(off_nic, job.tuples);
+            self.events.schedule(
+                delivered,
+                Event::NetDelivery {
+                    id,
+                    attempt,
+                    tuples: job.tuples,
+                },
+            );
+            None
+        } else {
+            self.deliver_read(id, attempt, job.tuples, now)
+        }
+    }
+
+    /// A fragment read reaches the client: counts toward throughput and,
+    /// when it is the query's last read, completes the query.
+    fn deliver_read(
+        &mut self,
+        id: QueryId,
+        attempt: u32,
+        tuples: u64,
+        now: SimTime,
+    ) -> Option<DriverEvent> {
+        if !self.read_is_fresh(id, attempt) {
+            self.waste_read();
+            return None;
+        }
+        self.metrics.read_throughput.add(now, tuples as f64);
+        let state = self.running.get_mut(&id)?;
+        state.pending = state.pending.saturating_sub(1);
+        if state.pending > 0 {
+            return None;
+        }
+        let state = self.running.remove(&id)?;
+        Some(self.complete_query(id, &state))
+    }
+
+    /// Whether a read tagged `(id, attempt)` still belongs to a live query
+    /// attempt (the query is running and has not been failed-and-retried).
+    fn read_is_fresh(&self, id: QueryId, attempt: u32) -> bool {
+        self.running.get(&id).is_some_and(|s| s.attempt == attempt)
+    }
+
+    fn waste_read(&mut self) {
+        self.metrics.availability.reads_wasted =
+            self.metrics.availability.reads_wasted.saturating_add(1);
+        nashdb_obs::counter_add("cluster.reads_wasted", 1);
     }
 
     fn complete_query(&mut self, id: QueryId, state: &QueryState) -> DriverEvent {
         let now = self.now();
+        self.done.insert(id);
         let record = QueryRecord {
             id,
             arrival: state.arrival,
@@ -495,6 +905,139 @@ impl ClusterSim {
         DriverEvent::QueryCompleted {
             id,
             latency: record.latency(),
+        }
+    }
+
+    fn apply_fault(&mut self, now: SimTime, slot: u64, kind: FaultKind) {
+        let phys = usize::try_from(slot)
+            .ok()
+            .and_then(|s| self.logical.get(s).copied());
+        let Some(phys) = phys else {
+            self.skip_fault();
+            return;
+        };
+        if self.phys[phys].failed || self.phys[phys].retired {
+            self.skip_fault();
+            return;
+        }
+        match kind {
+            FaultKind::Crash => self.crash_node(now, slot, phys, None),
+            FaultKind::CrashRestart { down_for } => {
+                self.crash_node(now, slot, phys, Some(down_for));
+            }
+            FaultKind::Straggler { slowdown, duration } => {
+                let node = &mut self.phys[phys];
+                node.slow_factor = slowdown.max(1.0);
+                node.slow_until = now + duration;
+            }
+        }
+    }
+
+    /// A fault whose target slot is unmapped (or whose node is already down
+    /// or retired) is dropped, so one schedule replays against clusters of
+    /// any size.
+    fn skip_fault(&mut self) {
+        self.metrics.availability.faults_skipped =
+            self.metrics.availability.faults_skipped.saturating_add(1);
+        nashdb_obs::counter_add("cluster.faults_skipped", 1);
+    }
+
+    fn crash_node(
+        &mut self,
+        now: SimTime,
+        slot: u64,
+        phys: usize,
+        restart_after: Option<SimDuration>,
+    ) {
+        let node = &mut self.phys[phys];
+        node.failed = true;
+        node.epoch = node.epoch.saturating_add(1);
+        node.slow_until = SimTime::ZERO;
+        node.slow_factor = 1.0;
+        // Everything queued or on the disk evaporates with the node.
+        let mut dropped: Vec<Job> = node.in_service.take().into_iter().collect();
+        dropped.extend(node.queue.drain(..));
+        let lost_tuples = node.backlog;
+        node.backlog = 0;
+        if let Some(net) = &mut self.net {
+            net.nics[phys].reset();
+        }
+        let avail = &mut self.metrics.availability;
+        avail.node_crashes = avail.node_crashes.saturating_add(1);
+        avail.jobs_lost = avail.jobs_lost.saturating_add(dropped.len() as u64);
+        avail.tuples_lost = avail.tuples_lost.saturating_add(lost_tuples);
+        nashdb_obs::counter_add("cluster.node_crashes", 1);
+        nashdb_obs::counter_add("cluster.jobs_lost", dropped.len() as u64);
+        nashdb_obs::counter_add("cluster.tuples_lost", lost_tuples);
+        // Queries whose current attempt lost a read here can no longer
+        // complete: hand them back to the driver. BTreeSet gives a stable
+        // id order for the QueryFailed events.
+        let mut victims: BTreeSet<QueryId> = BTreeSet::new();
+        for job in &dropped {
+            if let Some((id, attempt)) = job.query {
+                if self.read_is_fresh(id, attempt) {
+                    victims.insert(id);
+                }
+            }
+        }
+        self.driver_queue
+            .push_back(DriverEvent::NodeFailed { node: NodeId(slot) });
+        for id in victims {
+            let Some(state) = self.running.remove(&id) else {
+                continue;
+            };
+            let attempts = state.attempt.saturating_add(1);
+            self.awaiting.insert(
+                id,
+                AwaitingState {
+                    arrival: state.arrival,
+                    attempt: attempts,
+                },
+            );
+            self.metrics.availability.queries_failed =
+                self.metrics.availability.queries_failed.saturating_add(1);
+            nashdb_obs::counter_add("cluster.queries_failed", 1);
+            self.driver_queue
+                .push_back(DriverEvent::QueryFailed { id, attempts });
+        }
+        if let Some(down_for) = restart_after {
+            self.events.schedule(now + down_for, Event::Restart { phys });
+        }
+        // A decommissioned node that crashes has drained the hard way.
+        self.maybe_retire(phys, now);
+        self.update_degraded(now);
+    }
+
+    fn restart_node(&mut self, now: SimTime, phys: usize) {
+        let node = &mut self.phys[phys];
+        if node.retired || !node.failed {
+            // Decommissioned while down (or state drift): stays dead.
+            return;
+        }
+        node.failed = false;
+        self.metrics.availability.node_restarts =
+            self.metrics.availability.node_restarts.saturating_add(1);
+        nashdb_obs::counter_add("cluster.node_restarts", 1);
+        if let Some(slot) = self.logical.iter().position(|&p| p == phys) {
+            self.driver_queue.push_back(DriverEvent::NodeRestored {
+                node: NodeId(u64::try_from(slot).unwrap_or(u64::MAX)),
+            });
+        }
+        self.update_degraded(now);
+    }
+
+    /// Opens or closes the degraded-mode window: degraded while any logical
+    /// slot maps to a crashed node (the scheme promises replicas the
+    /// cluster cannot serve).
+    fn update_degraded(&mut self, now: SimTime) {
+        let degraded = self.logical.iter().any(|&p| self.phys[p].failed);
+        match self.degraded_since {
+            None if degraded => self.degraded_since = Some(now),
+            Some(since) if !degraded => {
+                self.metrics.availability.degraded += now.since(since);
+                self.degraded_since = None;
+            }
+            _ => {}
         }
     }
 
@@ -529,12 +1072,21 @@ impl ClusterSim {
 mod tests {
     use super::*;
     use nashdb_core::transition::{plan_transition, IntervalSet};
+    use nashdb_sim::fault::FaultEvent;
 
     fn cfg() -> ClusterConfig {
         ClusterConfig {
             throughput_tps: 1_000.0,    // 1k tuples/sec: easy arithmetic
             node_cost_per_hour: 3600.0, // 1 unit per second
             metrics_bucket: SimDuration::from_secs(10),
+            network: None,
+        }
+    }
+
+    fn net_cfg(nic_tps: u64, core_tps: u64) -> ClusterConfig {
+        ClusterConfig {
+            network: Some(NetConfig { nic_tps, core_tps }),
+            ..cfg()
         }
     }
 
@@ -551,6 +1103,14 @@ mod tests {
                 .map(|&(s, e)| ScanRange::new(TableId(0), s, e))
                 .collect(),
             tag: 0,
+        }
+    }
+
+    fn crash(at_secs: u64, node: u64) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_secs(at_secs),
+            node,
+            kind: FaultKind::Crash,
         }
     }
 
@@ -574,7 +1134,7 @@ mod tests {
     #[test]
     fn single_query_latency_is_service_time() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(1));
+        sim.reconfigure(&provision(1)).unwrap();
         sim.schedule_query(SimTime::from_secs(1), query(&[(0, 500)]));
         drive(&mut sim, |_, _| vec![(NodeId(0), 500)]);
         let m = sim.finish();
@@ -587,7 +1147,7 @@ mod tests {
     #[test]
     fn fifo_queueing_delays_second_query() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(1));
+        sim.reconfigure(&provision(1)).unwrap();
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         drive(&mut sim, |_, _| vec![(NodeId(0), 1000)]);
@@ -605,7 +1165,7 @@ mod tests {
     #[test]
     fn parallel_reads_reduce_latency_and_count_span() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(2));
+        sim.reconfigure(&provision(2)).unwrap();
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 500), (500, 1000)]));
         drive(&mut sim, |_, _| vec![(NodeId(0), 500), (NodeId(1), 500)]);
         let m = sim.finish();
@@ -616,7 +1176,7 @@ mod tests {
     #[test]
     fn queue_waits_reflect_backlog() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(2));
+        sim.reconfigure(&provision(2)).unwrap();
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 700)]));
         // Dispatch on arrival, then inspect waits immediately.
         match sim.next_event() {
@@ -631,7 +1191,7 @@ mod tests {
     #[test]
     fn cost_accrues_per_node_hour() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(3));
+        sim.reconfigure(&provision(3)).unwrap();
         // Let the clock advance 100 s with an idle timer.
         sim.schedule_wakeup(SimTime::from_secs(100), 0);
         assert!(matches!(sim.next_event(), DriverEvent::Wakeup { tag: 0 }));
@@ -644,7 +1204,7 @@ mod tests {
     #[test]
     fn decommissioned_node_drains_then_stops_costing() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(2));
+        sim.reconfigure(&provision(2)).unwrap();
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         match sim.next_event() {
             DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(1), 1000)]).unwrap(),
@@ -656,7 +1216,7 @@ mod tests {
             IntervalSet::from_intervals([(50u64, 60u64)]),
         ];
         let new = vec![IntervalSet::from_intervals([(0u64, 10u64)])];
-        sim.reconfigure(&plan_transition(&old, &new));
+        sim.reconfigure(&plan_transition(&old, &new)).unwrap();
         assert_eq!(sim.num_nodes(), 1);
         // The draining node still completes the query.
         let mut completed = false;
@@ -678,14 +1238,14 @@ mod tests {
     #[test]
     fn transfers_occupy_disk_and_are_counted() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(1));
+        sim.reconfigure(&provision(1)).unwrap();
         // Grow to 2 nodes; the new node must copy 2000 tuples.
         let old = vec![IntervalSet::from_intervals([(0u64, 2000u64)])];
         let new = vec![
             IntervalSet::from_intervals([(0u64, 2000u64)]),
             IntervalSet::from_intervals([(0u64, 2000u64)]),
         ];
-        sim.reconfigure(&plan_transition(&old, &new));
+        sim.reconfigure(&plan_transition(&old, &new)).unwrap();
         // A query dispatched to the new node waits behind the transfer.
         sim.schedule_query(
             SimTime::ZERO + SimDuration::from_millis(1),
@@ -703,7 +1263,7 @@ mod tests {
     #[test]
     fn reused_nodes_keep_their_queues() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(2));
+        sim.reconfigure(&provision(2)).unwrap();
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         match sim.next_event() {
             DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[(NodeId(0), 1000)]).unwrap(),
@@ -714,7 +1274,7 @@ mod tests {
             IntervalSet::from_intervals([(0u64, 10u64)]),
             IntervalSet::from_intervals([(20u64, 30u64)]),
         ];
-        sim.reconfigure(&plan_transition(&sets, &sets));
+        sim.reconfigure(&plan_transition(&sets, &sets)).unwrap();
         // Backlog survived the transition.
         assert_eq!(sim.queue_waits()[0], 1000);
     }
@@ -722,7 +1282,7 @@ mod tests {
     #[test]
     fn empty_dispatch_completes_immediately() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(1));
+        sim.reconfigure(&provision(1)).unwrap();
         sim.schedule_query(SimTime::from_secs(5), query(&[(0, 10)]));
         match sim.next_event() {
             DriverEvent::QueryArrived { id, .. } => sim.dispatch(id, &[]).unwrap(),
@@ -736,7 +1296,7 @@ mod tests {
     #[test]
     fn double_dispatch_is_rejected() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(1));
+        sim.reconfigure(&provision(1)).unwrap();
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 10)]));
         match sim.next_event() {
             DriverEvent::QueryArrived { id, .. } => {
@@ -751,9 +1311,116 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_of_unscheduled_query_is_unknown() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        // Never scheduled at all.
+        let ghost = QueryId(99);
+        assert_eq!(
+            sim.dispatch(ghost, &[(NodeId(0), 10)]),
+            Err(DispatchError::UnknownQuery { id: ghost })
+        );
+        // Scheduled but not yet arrived: still unknown to dispatch.
+        let early = sim.schedule_query(SimTime::from_secs(5), query(&[(0, 10)]));
+        assert_eq!(
+            sim.dispatch(early, &[(NodeId(0), 10)]),
+            Err(DispatchError::UnknownQuery { id: early })
+        );
+        // Nothing was enqueued by the rejected dispatches.
+        assert_eq!(sim.queue_waits(), vec![0]);
+    }
+
+    #[test]
+    fn dispatch_after_completion_is_duplicate() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        let id = sim.schedule_query(SimTime::from_secs(0), query(&[(0, 10)]));
+        drive(&mut sim, |_, _| vec![(NodeId(0), 10)]);
+        // The query completed long ago; a late re-dispatch must not enqueue
+        // phantom reads or double-count metrics.
+        assert_eq!(
+            sim.dispatch(id, &[(NodeId(0), 10)]),
+            Err(DispatchError::DuplicateQuery { id })
+        );
+        assert_eq!(sim.queue_waits(), vec![0]);
+        let m = sim.finish();
+        assert_eq!(m.queries.len(), 1);
+    }
+
+    #[test]
+    fn backlog_saturates_instead_of_overflowing() {
+        // Regression: `backlog += tuples` used to be unchecked, so a second
+        // u64::MAX-sized read wrapped the counter around.
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1)]));
+        match sim.next_event() {
+            DriverEvent::QueryArrived { id, .. } => {
+                sim.dispatch(id, &[(NodeId(0), u64::MAX), (NodeId(0), u64::MAX)])
+                    .unwrap();
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(sim.queue_waits(), vec![u64::MAX]);
+    }
+
+    #[test]
+    fn malformed_plans_are_typed_errors() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        // Reuse of a node the cluster does not have.
+        let bad_old = TransitionPlan {
+            moves: vec![NodeMove::Reuse {
+                old: NodeId(5),
+                new: NodeId(0),
+                transfer: 0,
+            }],
+            total_transfer: 0,
+        };
+        assert_eq!(
+            sim.reconfigure(&bad_old),
+            Err(ReconfigureError::UnknownOldNode { node: NodeId(5) })
+        );
+        // A plan that leaves slot 0 unassigned.
+        let uncovered = TransitionPlan {
+            moves: vec![NodeMove::Provision {
+                new: NodeId(1),
+                transfer: 0,
+            }],
+            total_transfer: 0,
+        };
+        assert_eq!(
+            sim.reconfigure(&uncovered),
+            Err(ReconfigureError::UncoveredNewNode { node: NodeId(0) })
+        );
+        // Two moves landing on the same new slot.
+        let duplicate = TransitionPlan {
+            moves: vec![
+                NodeMove::Provision {
+                    new: NodeId(0),
+                    transfer: 0,
+                },
+                NodeMove::Reuse {
+                    old: NodeId(0),
+                    new: NodeId(0),
+                    transfer: 0,
+                },
+            ],
+            total_transfer: 0,
+        };
+        assert_eq!(
+            sim.reconfigure(&duplicate),
+            Err(ReconfigureError::DuplicateNewNode { node: NodeId(0) })
+        );
+        // Every rejection left the cluster untouched.
+        assert_eq!(sim.num_nodes(), 1);
+        assert_eq!(sim.metrics().reconfigurations, 1);
+    }
+
+    #[test]
     fn utilization_reflects_busy_fraction() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(2));
+        sim.reconfigure(&provision(2)).unwrap();
         // Node 0 works 1 s of a 2 s run; node 1 stays idle.
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
         match sim.next_event() {
@@ -773,14 +1440,14 @@ mod tests {
     #[test]
     fn peak_nodes_tracks_largest_cluster() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(3));
+        sim.reconfigure(&provision(3)).unwrap();
         assert_eq!(sim.metrics().peak_nodes, 3);
         // Shrink to 1: the peak must remember 3.
         let old: Vec<IntervalSet> = (0..3)
             .map(|i| IntervalSet::from_intervals([(i * 10, i * 10 + 5)]))
             .collect();
         let new = vec![IntervalSet::from_intervals([(0u64, 5u64)])];
-        sim.reconfigure(&plan_transition(&old, &new));
+        sim.reconfigure(&plan_transition(&old, &new)).unwrap();
         assert_eq!(sim.num_nodes(), 1);
         assert_eq!(sim.metrics().peak_nodes, 3);
     }
@@ -788,14 +1455,316 @@ mod tests {
     #[test]
     fn throughput_series_counts_read_tuples_only() {
         let mut sim = ClusterSim::new(cfg());
-        sim.reconfigure(&provision(1));
+        sim.reconfigure(&provision(1)).unwrap();
         let old = vec![IntervalSet::from_intervals([(0u64, 500u64)])];
         let new = vec![IntervalSet::from_intervals([(0u64, 1000u64)])];
-        sim.reconfigure(&plan_transition(&old, &new)); // 500-tuple transfer
+        sim.reconfigure(&plan_transition(&old, &new)).unwrap(); // 500-tuple transfer
         sim.schedule_query(SimTime::from_secs(0), query(&[(0, 300)]));
         drive(&mut sim, |_, _| vec![(NodeId(0), 300)]);
         let m = sim.finish();
         // Only the 300 read tuples count toward throughput.
         assert!((m.read_throughput.total() - 300.0).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure and network model
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn crash_fails_inflight_query_and_retry_completes() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(2)).unwrap();
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
+        // Node 1 dies mid-read at t=0.5 s; the read would have finished at 1 s.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![crash(0, 1)]));
+        // (crash at t=0 sorts before arrival? No: both t=0, crash scheduled
+        // after the arrival, FIFO keeps arrival first — but make it explicit.)
+        let mut saw_node_failed = false;
+        let mut completions = 0;
+        loop {
+            match sim.next_event() {
+                DriverEvent::QueryArrived { id, .. } => {
+                    sim.dispatch(id, &[(NodeId(1), 1000)]).unwrap();
+                }
+                DriverEvent::NodeFailed { node } => {
+                    assert_eq!(node, NodeId(1));
+                    saw_node_failed = true;
+                    assert!(!sim.node_alive(NodeId(1)));
+                    assert!(sim.node_alive(NodeId(0)));
+                }
+                DriverEvent::QueryFailed { id, attempts } => {
+                    assert_eq!(attempts, 1);
+                    // Routing to the dead node is now rejected ...
+                    assert_eq!(
+                        sim.dispatch(id, &[(NodeId(1), 1000)]),
+                        Err(DispatchError::FailedNode { node: NodeId(1) })
+                    );
+                    // ... so retry on the survivor.
+                    sim.dispatch(id, &[(NodeId(0), 1000)]).unwrap();
+                }
+                DriverEvent::QueryCompleted { .. } => completions += 1,
+                DriverEvent::Finished => break,
+                _ => {}
+            }
+        }
+        assert!(saw_node_failed);
+        assert_eq!(completions, 1);
+        let m = sim.finish();
+        // Exactly one record — the retry, with the original arrival time.
+        assert_eq!(m.queries.len(), 1);
+        assert_eq!(m.queries[0].arrival, SimTime::from_secs(0));
+        // Crash fired at t=0 (before any service), retry read takes 1 s.
+        assert!((m.queries[0].latency().as_secs_f64() - 1.0).abs() < 1e-9);
+        let a = &m.availability;
+        assert_eq!(a.node_crashes, 1);
+        assert_eq!(a.queries_failed, 1);
+        assert_eq!(a.queries_retried, 1);
+        assert_eq!(a.queries_abandoned, 0);
+        assert_eq!(a.jobs_lost, 1);
+    }
+
+    #[test]
+    fn crash_restart_brings_the_node_back() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(2)).unwrap();
+        sim.schedule_faults(&FaultSchedule::from_events(vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            node: 1,
+            kind: FaultKind::CrashRestart {
+                down_for: SimDuration::from_secs(2),
+            },
+        }]));
+        sim.schedule_wakeup(SimTime::from_secs(10), 0);
+        let mut restored = false;
+        loop {
+            match sim.next_event() {
+                DriverEvent::NodeFailed { node } => {
+                    assert_eq!(node, NodeId(1));
+                    assert!(!sim.node_alive(NodeId(1)));
+                }
+                DriverEvent::NodeRestored { node } => {
+                    assert_eq!(node, NodeId(1));
+                    assert!(sim.node_alive(NodeId(1)));
+                    restored = true;
+                }
+                DriverEvent::Finished => break,
+                _ => {}
+            }
+        }
+        assert!(restored);
+        let m = sim.finish();
+        assert_eq!(m.availability.node_crashes, 1);
+        assert_eq!(m.availability.node_restarts, 1);
+        // Down from t=1 to t=3.
+        assert_eq!(m.availability.degraded, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn straggler_window_stretches_service() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        sim.schedule_faults(&FaultSchedule::from_events(vec![FaultEvent {
+            at: SimTime::from_secs(0),
+            node: 0,
+            kind: FaultKind::Straggler {
+                slowdown: 4.0,
+                duration: SimDuration::from_secs(10),
+            },
+        }]));
+        // Arrives inside the window: 1 s of work takes 4 s.
+        sim.schedule_query(SimTime::from_secs(1), query(&[(0, 1000)]));
+        // Arrives after the window: full speed again.
+        sim.schedule_query(SimTime::from_secs(20), query(&[(0, 1000)]));
+        drive(&mut sim, |_, _| vec![(NodeId(0), 1000)]);
+        let m = sim.finish();
+        assert_eq!(m.queries.len(), 2);
+        assert!((m.queries[0].latency().as_secs_f64() - 4.0).abs() < 1e-9);
+        assert!((m.queries[1].latency().as_secs_f64() - 1.0).abs() < 1e-9);
+        // Stragglers degrade nothing permanently and fail nothing.
+        assert_eq!(m.availability.queries_failed, 0);
+        assert_eq!(m.availability.node_crashes, 0);
+    }
+
+    #[test]
+    fn fault_on_unmapped_slot_is_skipped() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        sim.schedule_faults(&FaultSchedule::from_events(vec![crash(1, 7)]));
+        while !matches!(sim.next_event(), DriverEvent::Finished) {}
+        let m = sim.finish();
+        assert_eq!(m.availability.faults_skipped, 1);
+        assert_eq!(m.availability.node_crashes, 0);
+    }
+
+    #[test]
+    fn abandoned_query_is_counted_not_recorded() {
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(1)).unwrap();
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
+        sim.schedule_faults(&FaultSchedule::from_events(vec![crash(0, 0)]));
+        loop {
+            match sim.next_event() {
+                DriverEvent::QueryArrived { id, .. } => {
+                    sim.dispatch(id, &[(NodeId(0), 1000)]).unwrap();
+                }
+                DriverEvent::QueryFailed { id, .. } => {
+                    // Only replica is gone: give up.
+                    assert!(sim.abandon_query(id));
+                    // A second abandon is a no-op.
+                    assert!(!sim.abandon_query(id));
+                }
+                DriverEvent::Finished => break,
+                _ => {}
+            }
+        }
+        let m = sim.finish();
+        assert_eq!(m.queries.len(), 0);
+        assert_eq!(m.availability.queries_abandoned, 1);
+        assert_eq!(m.availability.queries_failed, 1);
+    }
+
+    #[test]
+    fn stale_reads_of_a_failed_attempt_are_wasted_not_counted() {
+        // A query with reads on two nodes loses one to a crash; the
+        // surviving node's read must not complete the retried query or
+        // count toward throughput.
+        let mut sim = ClusterSim::new(cfg());
+        sim.reconfigure(&provision(3)).unwrap();
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 4000)]));
+        // Node 1 dies at t=1; node 0's half (2000 tuples) finishes at t=2.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![crash(1, 1)]));
+        let mut completions = 0;
+        loop {
+            match sim.next_event() {
+                DriverEvent::QueryArrived { id, .. } => {
+                    sim.dispatch(id, &[(NodeId(0), 2000), (NodeId(1), 2000)])
+                        .unwrap();
+                }
+                DriverEvent::QueryFailed { id, .. } => {
+                    // Retry entirely on node 2.
+                    sim.dispatch(id, &[(NodeId(2), 4000)]).unwrap();
+                }
+                DriverEvent::QueryCompleted { .. } => completions += 1,
+                DriverEvent::Finished => break,
+                _ => {}
+            }
+        }
+        let m = sim.finish();
+        assert_eq!(completions, 1);
+        assert_eq!(m.queries.len(), 1);
+        // Node 0's orphaned read was served but wasted.
+        assert_eq!(m.availability.reads_wasted, 1);
+        // Throughput counts the retry's 4000 tuples, not the stale 2000.
+        assert!(
+            (m.read_throughput.total() - 4000.0).abs() < 1e-9,
+            "throughput {}",
+            m.read_throughput.total()
+        );
+    }
+
+    #[test]
+    fn network_read_crosses_nic_then_core() {
+        // 1000-tuple read: disk 1 s, NIC 1 s, core 0.5 s → latency 2.5 s.
+        let mut sim = ClusterSim::new(net_cfg(1_000, 2_000));
+        sim.reconfigure(&provision(1)).unwrap();
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
+        drive(&mut sim, |_, _| vec![(NodeId(0), 1000)]);
+        let m = sim.finish();
+        assert_eq!(m.queries.len(), 1);
+        assert!((m.queries[0].latency().as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_link_contention_serializes_concurrent_reads() {
+        // Two parallel 1000-tuple reads on separate nodes: disks and NICs
+        // run concurrently (done t=2), but the shared core carries them one
+        // after the other (t=3 and t=4).
+        let mut sim = ClusterSim::new(net_cfg(1_000, 1_000));
+        sim.reconfigure(&provision(2)).unwrap();
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
+        sim.schedule_query(SimTime::from_secs(0), query(&[(0, 1000)]));
+        let mut next = 0u64;
+        drive(&mut sim, |_, _| {
+            let node = NodeId(next % 2);
+            next += 1;
+            vec![(node, 1000)]
+        });
+        let m = sim.finish();
+        let mut lats: Vec<f64> = m
+            .queries
+            .iter()
+            .map(|q| q.latency().as_secs_f64())
+            .collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((lats[0] - 3.0).abs() < 1e-9, "latencies {lats:?}");
+        assert!((lats[1] - 4.0).abs() < 1e-9, "latencies {lats:?}");
+    }
+
+    #[test]
+    fn transfer_crosses_network_and_dies_with_receiver() {
+        // Provision a second node with a 2000-tuple transfer (core 1 s, NIC
+        // 2 s → arrives at disk t=3), but crash the receiver at t=1: the
+        // copy is lost mid-transition and never becomes a disk job.
+        let mut sim = ClusterSim::new(net_cfg(1_000, 2_000));
+        sim.reconfigure(&provision(1)).unwrap();
+        let old = vec![IntervalSet::from_intervals([(0u64, 2000u64)])];
+        let new = vec![
+            IntervalSet::from_intervals([(0u64, 2000u64)]),
+            IntervalSet::from_intervals([(0u64, 2000u64)]),
+        ];
+        sim.reconfigure(&plan_transition(&old, &new)).unwrap();
+        sim.schedule_faults(&FaultSchedule::from_events(vec![crash(1, 1)]));
+        while !matches!(sim.next_event(), DriverEvent::Finished) {}
+        let m = sim.finish();
+        assert_eq!(m.availability.node_crashes, 1);
+        assert_eq!(m.availability.tuples_lost, 2000);
+        // The transfer was initiated (and charged) but never served.
+        assert_eq!(m.total_transfer(), 2000);
+    }
+
+    #[test]
+    fn same_fault_schedule_is_deterministic() {
+        let run = || {
+            let mut sim = ClusterSim::new(net_cfg(2_000, 4_000));
+            sim.reconfigure(&provision(3)).unwrap();
+            for i in 0..12u64 {
+                sim.schedule_query(SimTime::from_secs(i), query(&[(0, 900)]));
+            }
+            sim.schedule_faults(&FaultSchedule::from_events(vec![
+                crash(4, 1),
+                FaultEvent {
+                    at: SimTime::from_secs(6),
+                    node: 2,
+                    kind: FaultKind::Straggler {
+                        slowdown: 3.0,
+                        duration: SimDuration::from_secs(4),
+                    },
+                },
+            ]));
+            let mut next = 0u64;
+            loop {
+                match sim.next_event() {
+                    DriverEvent::QueryArrived { id, .. } => {
+                        let mut node = NodeId(next % 3);
+                        next += 1;
+                        if !sim.node_alive(node) {
+                            node = NodeId(0);
+                        }
+                        sim.dispatch(id, &[(node, 900)]).unwrap();
+                    }
+                    DriverEvent::QueryFailed { id, .. } => {
+                        sim.dispatch(id, &[(NodeId(0), 900)]).unwrap();
+                    }
+                    DriverEvent::Finished => break,
+                    _ => {}
+                }
+            }
+            sim.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.availability, b.availability);
+        assert!((a.total_cost - b.total_cost).abs() < 1e-12);
     }
 }

@@ -62,6 +62,7 @@ pub const SPAN_SEGMENTS: &[&str] = &[
     "route",
     "place",
     "transition",
+    "retry",
 ];
 
 /// Crates exempt from `obs-name-prefix`: the obs crate itself (its docs and

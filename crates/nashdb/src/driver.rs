@@ -1,14 +1,17 @@
 //! The experiment driver: plays a workload against a simulated cluster,
 //! with any distribution system and any scan router.
 
-use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, Metrics};
-use nashdb_core::ids::NodeId;
+use std::collections::HashMap;
+
+use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, Metrics, QueryRequest};
+use nashdb_core::ids::{NodeId, QueryId};
 use nashdb_core::routing::{QueueView, ScanRouter};
 use nashdb_core::transition::plan_transition;
+use nashdb_sim::fault::FaultSchedule;
 use nashdb_sim::{SimDuration, SimTime};
 use nashdb_workload::Workload;
 
-use crate::scheme::Distributor;
+use crate::scheme::{DistScheme, Distributor};
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +50,71 @@ impl RunConfig {
     }
 }
 
+/// A query whose current attempt failed this many times is abandoned rather
+/// than retried again (a safety valve against pathological schedules; real
+/// runs retry at most once or twice).
+const MAX_ATTEMPTS: u32 = 5;
+
+/// How the driver routed (or declined to route) one query.
+enum RouteOutcome {
+    /// One `(node, tuples)` read per fragment request.
+    Reads(Vec<(NodeId, u64)>),
+    /// Some fragment the query needs has no live replica: undispatachable
+    /// until a node restarts or the scheme changes.
+    Dead,
+}
+
+/// Routes one query against the current scheme. When `alive_only` is set,
+/// replica candidates on crashed nodes are dropped first — the routing-
+/// around-failures path — and a fragment left with no live replica makes the
+/// whole query [`RouteOutcome::Dead`].
+fn plan_reads(
+    scheme: &DistScheme,
+    query: &QueryRequest,
+    router: &dyn ScanRouter,
+    sim: &ClusterSim,
+    alive_only: bool,
+) -> RouteOutcome {
+    let mut requests = scheme.requests_for_query(query);
+    if alive_only {
+        for r in &mut requests {
+            r.candidates.retain(|&n| sim.node_alive(n));
+            if r.candidates.is_empty() {
+                return RouteOutcome::Dead;
+            }
+        }
+    }
+    // Fragment ids are dense scheme indices; a flat size table replaces the
+    // old per-query HashMap on this hot path.
+    let mut sizes: Vec<u64> = vec![0; scheme.fragments().len()];
+    for r in &requests {
+        sizes[r.fragment.index()] = r.size;
+    }
+    let mut queues = QueueView::from_waits(sim.queue_waits());
+    let assignments = {
+        let _route = nashdb_obs::span("route");
+        // Scheme construction guarantees every fragment has a replica (and
+        // `alive_only` already returned `Dead` if crashes broke that), so an
+        // unroutable request is a driver bug — keep the historical
+        // fail-fast behavior.
+        match router.route(&requests, &mut queues) {
+            Ok(a) => a,
+            Err(e) => unreachable!("scheme left a request unroutable: {e}"),
+        }
+    };
+    assert_eq!(
+        assignments.len(),
+        requests.len(),
+        "router dropped or invented a request"
+    );
+    RouteOutcome::Reads(
+        assignments
+            .iter()
+            .map(|a| (a.node, sizes[a.fragment.index()]))
+            .collect(),
+    )
+}
+
 /// Runs `workload` end to end: the distributor computes an initial scheme at
 /// time zero, observes every arriving query, and is asked for a fresh scheme
 /// at every reconfiguration interval; transitions are planned with the
@@ -60,14 +128,32 @@ pub fn run_workload(
     router: &dyn ScanRouter,
     cfg: &RunConfig,
 ) -> Metrics {
+    run_workload_with_faults(workload, distributor, router, cfg, &FaultSchedule::none())
+}
+
+/// [`run_workload`] with a fault schedule injected. When a node crashes, the
+/// driver re-routes failed queries to surviving replicas (dropping dead
+/// candidates before routing); a query whose fragment has no live replica —
+/// or that has failed [`MAX_ATTEMPTS`] times — is abandoned and counted in
+/// [`Metrics::availability`]. With an empty schedule this is exactly
+/// [`run_workload`].
+pub fn run_workload_with_faults(
+    workload: &Workload,
+    distributor: &mut dyn Distributor,
+    router: &dyn ScanRouter,
+    cfg: &RunConfig,
+    faults: &FaultSchedule,
+) -> Metrics {
     // Everything below runs under one root span; provisioning, per-query
-    // routing, and periodic reconfiguration each get a nested child so an
-    // active `ObsSession` sees where driver wall-clock goes.
+    // routing, periodic reconfiguration, and crash retries each get a nested
+    // child so an active `ObsSession` sees where driver wall-clock goes.
     let _pipeline = nashdb_obs::span("pipeline");
+    let faults_active = !faults.is_empty();
     let mut sim = ClusterSim::new(cfg.cluster);
     for tq in &workload.queries {
         sim.schedule_query(tq.at, tq.query.clone());
     }
+    sim.schedule_faults(faults);
     // Reconfiguration timers through the last arrival.
     if let Some(last) = workload.queries.last().map(|q| q.at) {
         let mut t = SimTime::ZERO + cfg.reconfig_interval;
@@ -91,48 +177,60 @@ pub fn run_workload(
             let audit = nashdb_core::audit::audit_transition(&[], &intervals, &initial_plan);
             assert!(audit.is_ok(), "initial provision failed audit: {audit:?}");
         }
-        sim.reconfigure(&initial_plan);
+        if sim.reconfigure(&initial_plan).is_err() {
+            nashdb_obs::counter_add("cluster.plans_rejected", 1);
+        }
         (scheme, intervals)
     };
 
+    // Queries still in flight, kept only under faults so a failed query can
+    // be re-routed from its original request.
+    let mut inflight: HashMap<QueryId, QueryRequest> = HashMap::new();
     let phi = cfg.phi_tuples();
     loop {
         match sim.next_event() {
             DriverEvent::QueryArrived { id, query } => {
                 let _query = nashdb_obs::span("query");
                 distributor.observe(&query);
-                let requests = scheme.requests_for_query(&query);
-                // Fragment ids are dense scheme indices; a flat size table
-                // replaces the old per-query HashMap on this hot path.
-                let mut sizes: Vec<u64> = vec![0; scheme.fragments().len()];
-                for r in &requests {
-                    sizes[r.fragment.index()] = r.size;
+                match plan_reads(&scheme, &query, router, &sim, faults_active) {
+                    RouteOutcome::Reads(reads) => {
+                        if faults_active {
+                            inflight.insert(id, query);
+                        }
+                        let dispatched = sim.dispatch(id, &reads);
+                        assert!(
+                            dispatched.is_ok(),
+                            "driver dispatch rejected: {dispatched:?}"
+                        );
+                    }
+                    RouteOutcome::Dead => {
+                        sim.abandon_query(id);
+                    }
                 }
-                let mut queues = QueueView::from_waits(sim.queue_waits());
-                let assignments = {
-                    let _route = nashdb_obs::span("route");
-                    // Scheme construction guarantees every fragment has a
-                    // replica, so an unroutable request is a driver bug —
-                    // keep the historical fail-fast behavior.
-                    match router.route(&requests, &mut queues) {
-                        Ok(a) => a,
-                        Err(e) => unreachable!("scheme left a request unroutable: {e}"),
+            }
+            DriverEvent::QueryFailed { id, attempts } => {
+                let _retry = nashdb_obs::span("retry");
+                let outcome = if attempts >= MAX_ATTEMPTS {
+                    RouteOutcome::Dead
+                } else {
+                    match inflight.get(&id) {
+                        Some(q) => plan_reads(&scheme, q, router, &sim, true),
+                        None => RouteOutcome::Dead,
                     }
                 };
-                assert_eq!(
-                    assignments.len(),
-                    requests.len(),
-                    "router dropped or invented a request"
-                );
-                let reads: Vec<(NodeId, u64)> = assignments
-                    .iter()
-                    .map(|a| (a.node, sizes[a.fragment.index()]))
-                    .collect();
-                let dispatched = sim.dispatch(id, &reads);
-                assert!(
-                    dispatched.is_ok(),
-                    "driver dispatch rejected: {dispatched:?}"
-                );
+                // No asserts here: between routing and dispatch nothing can
+                // invalidate the plan, but if state ever drifts the run
+                // degrades to an abandoned query instead of a panic.
+                let dispatched =
+                    matches!(&outcome, RouteOutcome::Reads(reads) if sim.dispatch(id, reads).is_ok());
+                if !dispatched {
+                    sim.abandon_query(id);
+                    inflight.remove(&id);
+                }
+            }
+            DriverEvent::NodeFailed { .. } | DriverEvent::NodeRestored { .. } => {
+                // Liveness is re-read from the sim at every routing decision,
+                // so these are informational.
             }
             DriverEvent::Wakeup { .. } => {
                 let _reconfigure = nashdb_obs::span("reconfigure");
@@ -145,11 +243,19 @@ pub fn run_workload(
                         nashdb_core::audit::audit_transition(&intervals, &new_intervals, &plan);
                     assert!(audit.is_ok(), "transition failed audit: {audit:?}");
                 }
-                sim.reconfigure(&plan);
-                scheme = new_scheme;
-                intervals = new_intervals;
+                if sim.reconfigure(&plan).is_err() {
+                    // A Hungarian plan against the current interval sets is
+                    // always well-formed; count (rather than crash on) any
+                    // drift so a long scenario sweep still finishes.
+                    nashdb_obs::counter_add("cluster.plans_rejected", 1);
+                } else {
+                    scheme = new_scheme;
+                    intervals = new_intervals;
+                }
             }
-            DriverEvent::QueryCompleted { .. } => {}
+            DriverEvent::QueryCompleted { id, .. } => {
+                inflight.remove(&id);
+            }
             DriverEvent::Finished => break,
         }
     }
@@ -173,6 +279,7 @@ mod tests {
             throughput_tps: 1_000_000.0,
             node_cost_per_hour: 100.0,
             metrics_bucket: SimDuration::from_secs(600),
+            network: None,
         }
     }
 
@@ -283,5 +390,31 @@ mod tests {
             pricey.peak_nodes,
             cheap.peak_nodes
         );
+    }
+
+    #[test]
+    fn fault_free_schedule_matches_plain_run() {
+        let w = bernoulli(&BernoulliConfig {
+            size_gb: 2,
+            queries: 30,
+            ..BernoulliConfig::default()
+        });
+        let run = RunConfig {
+            cluster: fast_cluster(),
+            ..RunConfig::default()
+        };
+        let mut a_dist = NashDbDistributor::new(&w.db, nash_cfg());
+        let a = run_workload(&w, &mut a_dist, &MaxOfMins::new(run.phi_tuples()), &run);
+        let mut b_dist = NashDbDistributor::new(&w.db, nash_cfg());
+        let b = run_workload_with_faults(
+            &w,
+            &mut b_dist,
+            &MaxOfMins::new(run.phi_tuples()),
+            &run,
+            &FaultSchedule::none(),
+        );
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.availability, b.availability);
+        assert!((a.total_cost - b.total_cost).abs() < 1e-12);
     }
 }

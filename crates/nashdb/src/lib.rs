@@ -44,7 +44,7 @@ mod driver;
 mod scheme;
 
 pub use distributor::{NashDbConfig, NashDbDistributor};
-pub use driver::{run_workload, RunConfig};
+pub use driver::{run_workload, run_workload_with_faults, RunConfig};
 pub use scheme::{DistScheme, Distributor, GlobalFragment};
 
 pub use nashdb_core::routing::{MaxOfMins, ScanRouter};

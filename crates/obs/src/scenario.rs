@@ -45,6 +45,11 @@ pub struct CellSnapshot {
     pub mix: String,
     /// Replication-budget level name (`tight` / `ample`).
     pub budget: String,
+    /// Fault-schedule level name (`none` / `crash` / `chaos`). `"none"` is
+    /// the failure-free legacy matrix: it is omitted from the serialized
+    /// form and from [`key`](CellSnapshot::key), so artifacts written before
+    /// this axis existed parse (and key) unchanged.
+    pub faults: String,
     /// Every system's point, in a fixed system order.
     pub systems: Vec<SystemPoint>,
     /// Host wall-clock nanoseconds spent simulating the cell (zeroed by
@@ -53,12 +58,20 @@ pub struct CellSnapshot {
 }
 
 impl CellSnapshot {
-    /// The cell's unique key within an artifact.
+    /// The cell's unique key within an artifact. Failure-free cells keep
+    /// their historical four-part key; fault cells append `/<faults>`.
     pub fn key(&self) -> String {
-        format!(
-            "{}/{}/{}/{}",
-            self.workload, self.drift, self.mix, self.budget
-        )
+        if self.faults == "none" {
+            format!(
+                "{}/{}/{}/{}",
+                self.workload, self.drift, self.mix, self.budget
+            )
+        } else {
+            format!(
+                "{}/{}/{}/{}/{}",
+                self.workload, self.drift, self.mix, self.budget, self.faults
+            )
+        }
     }
 
     /// Looks up a system's point by name.
@@ -133,14 +146,18 @@ impl ScenarioArtifact {
                             })
                             .collect(),
                     );
-                    JsonValue::Object(vec![
+                    let mut fields = vec![
                         ("workload".to_owned(), JsonValue::Str(c.workload.clone())),
                         ("drift".to_owned(), JsonValue::Str(c.drift.clone())),
                         ("mix".to_owned(), JsonValue::Str(c.mix.clone())),
                         ("budget".to_owned(), JsonValue::Str(c.budget.clone())),
-                        ("systems".to_owned(), systems),
-                        ("wall_ns".to_owned(), JsonValue::UInt(c.wall_ns)),
-                    ])
+                    ];
+                    if c.faults != "none" {
+                        fields.push(("faults".to_owned(), JsonValue::Str(c.faults.clone())));
+                    }
+                    fields.push(("systems".to_owned(), systems));
+                    fields.push(("wall_ns".to_owned(), JsonValue::UInt(c.wall_ns)));
+                    JsonValue::Object(fields)
                 })
                 .collect(),
         );
@@ -235,6 +252,15 @@ fn parse_cell(item: &JsonValue, index: usize) -> Result<CellSnapshot, SnapshotEr
     let drift = field_str(item, &at, "drift")?;
     let mix = field_str(item, &at, "mix")?;
     let budget = field_str(item, &at, "budget")?;
+    // Optional for backward compatibility: artifacts from before the fault
+    // axis have no `faults` field and mean the failure-free level.
+    let faults = match item.get("faults") {
+        None => "none".to_owned(),
+        Some(v) => match v.as_str() {
+            Some(s) if !s.is_empty() => s.to_owned(),
+            _ => return schema_err(&format!("{at}.faults"), "not a non-empty string"),
+        },
+    };
     let Some(wall_ns) = item.get("wall_ns").and_then(JsonValue::as_u64) else {
         return schema_err(
             &format!("{at}.wall_ns"),
@@ -296,6 +322,7 @@ fn parse_cell(item: &JsonValue, index: usize) -> Result<CellSnapshot, SnapshotEr
         drift,
         mix,
         budget,
+        faults,
         systems,
         wall_ns,
     })
@@ -329,6 +356,7 @@ mod tests {
                     drift: "steady".to_owned(),
                     mix: "uniform".to_owned(),
                     budget: "tight".to_owned(),
+                    faults: "none".to_owned(),
                     systems: vec![
                         point("nashdb", 10.0, 0.5, true, 2),
                         point("threshold", 12.0, 0.9, false, 0),
@@ -341,6 +369,7 @@ mod tests {
                     drift: "drifting".to_owned(),
                     mix: "budget-hdd".to_owned(),
                     budget: "ample".to_owned(),
+                    faults: "crash".to_owned(),
                     systems: vec![
                         point("nashdb", 5.0, 1.0, true, 0),
                         point("threshold", 4.0, 1.5, true, 0),
@@ -368,6 +397,26 @@ mod tests {
         assert_eq!(cell.system("nashdb").map(|s| s.dominates), Some(2));
         assert!(art.cell("nope/steady/uniform/tight").is_none());
         assert!(cell.system("nope").is_none());
+        // Fault cells key with the fifth segment.
+        assert!(art.cell("bernoulli/drifting/budget-hdd/ample/crash").is_some());
+        assert!(art.cell("bernoulli/drifting/budget-hdd/ample").is_none());
+    }
+
+    #[test]
+    fn pre_fault_axis_artifacts_parse_with_default_level() {
+        // Serialized before the fault axis existed: no `faults` field.
+        let art = sample();
+        let text = art.to_json_string();
+        assert!(
+            !text.split("\"faults\": \"crash\"").next().unwrap().contains("faults"),
+            "failure-free cells must not serialize the faults field"
+        );
+        let legacy = text.replace(",\n      \"faults\": \"crash\"", "");
+        assert_ne!(legacy, text, "replace must strip the faults field");
+        let parsed = ScenarioArtifact::from_json_str(&legacy).unwrap();
+        assert!(parsed.cells.iter().all(|c| c.faults == "none"));
+        // Re-serializing a legacy artifact reproduces its bytes.
+        assert_eq!(parsed.to_json_string(), legacy);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Deterministic seeded fault schedules.
+//!
+//! A [`FaultSchedule`] is an ordered list of [`FaultEvent`]s — node crashes,
+//! crash-with-restart, and straggler (throughput degradation) windows — that
+//! a cluster simulation injects at fixed simulated times. Schedules are
+//! plain data: they can be written out explicitly by a test, or drawn
+//! deterministically from a seed with [`FaultSchedule::generate`], so two
+//! runs of the same schedule produce byte-identical metric snapshots (the
+//! same contract every other simulation input honours).
+//!
+//! Fault events target *logical* node indices — the slot numbering the
+//! driver's distribution scheme uses — resolved at fire time. A fault aimed
+//! at a slot the cluster does not currently have (it shrank, or never grew
+//! that far) is skipped and counted, never an error: the same schedule must
+//! be replayable against systems that provision different cluster sizes.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// What happens to the targeted node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node dies and never comes back: queued jobs are lost, queries
+    /// with reads outstanding there must be re-dispatched.
+    Crash,
+    /// The node dies and rejoins empty after `down_for` — e.g. an instance
+    /// reboot with its network volume re-attached.
+    CrashRestart {
+        /// How long the node stays down.
+        down_for: SimDuration,
+    },
+    /// The node keeps serving but every job *started* during the window
+    /// takes `slowdown` times longer (a degraded disk or noisy neighbour).
+    Straggler {
+        /// Service-time multiplier; values below 1 are treated as 1 (no
+        /// speed-up faults).
+        slowdown: f64,
+        /// How long the degradation window lasts.
+        duration: SimDuration,
+    },
+}
+
+/// One scheduled fault: a kind, a target logical node slot, and a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// Logical node index targeted (resolved when the fault fires).
+    pub node: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters for seeded schedule generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScheduleConfig {
+    /// RNG seed; equal configs generate equal schedules.
+    pub seed: u64,
+    /// Faults are drawn uniformly in `[horizon/10, 9·horizon/10]` so they
+    /// land inside the run, not on its edges.
+    pub horizon: SimDuration,
+    /// Logical node slots to draw targets from (`0..nodes`).
+    pub nodes: u64,
+    /// Permanent crashes to schedule.
+    pub crashes: usize,
+    /// Crash-with-restart events to schedule.
+    pub restarts: usize,
+    /// Straggler windows to schedule.
+    pub stragglers: usize,
+    /// Downtime of each crash-with-restart.
+    pub down_for: SimDuration,
+    /// Service-time multiplier inside straggler windows.
+    pub slowdown: f64,
+    /// Length of each straggler window.
+    pub straggle_for: SimDuration,
+}
+
+impl Default for FaultScheduleConfig {
+    fn default() -> Self {
+        FaultScheduleConfig {
+            seed: 42,
+            horizon: SimDuration::from_secs(3600),
+            nodes: 4,
+            crashes: 1,
+            restarts: 0,
+            stragglers: 0,
+            down_for: SimDuration::from_secs(300),
+            slowdown: 4.0,
+            straggle_for: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// An ordered, replayable set of fault injections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults (the failure-free legacy behavior).
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from explicit events, sorting them by time (ties
+    /// keep the given order, so construction is deterministic).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// Draws a schedule from a seed: `crashes` permanent crashes, then
+    /// `restarts` crash-with-restarts, then `stragglers` windows, each at a
+    /// uniform time in the middle 80% of the horizon on a uniform node slot.
+    ///
+    /// Deterministic: equal configs generate equal schedules.
+    pub fn generate(cfg: &FaultScheduleConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xFA17_5EED);
+        let lo = cfg.horizon.as_nanos() / 10;
+        let hi = (cfg.horizon.as_nanos() / 10).saturating_mul(9).max(lo + 1);
+        let nodes = cfg.nodes.max(1);
+        let draw = |rng: &mut SimRng| {
+            let at = SimTime::from_nanos(rng.uniform_u64(lo, hi));
+            let node = rng.uniform_u64(0, nodes);
+            (at, node)
+        };
+        let mut events = Vec::with_capacity(cfg.crashes + cfg.restarts + cfg.stragglers);
+        for _ in 0..cfg.crashes {
+            let (at, node) = draw(&mut rng);
+            events.push(FaultEvent {
+                at,
+                node,
+                kind: FaultKind::Crash,
+            });
+        }
+        for _ in 0..cfg.restarts {
+            let (at, node) = draw(&mut rng);
+            events.push(FaultEvent {
+                at,
+                node,
+                kind: FaultKind::CrashRestart {
+                    down_for: cfg.down_for,
+                },
+            });
+        }
+        for _ in 0..cfg.stragglers {
+            let (at, node) = draw(&mut rng);
+            events.push(FaultEvent {
+                at,
+                node,
+                kind: FaultKind::Straggler {
+                    slowdown: cfg.slowdown.max(1.0),
+                    duration: cfg.straggle_for,
+                },
+            });
+        }
+        FaultSchedule::from_events(events)
+    }
+
+    /// The events, in nondecreasing time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True iff the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_events_sorts_by_time_stably() {
+        let e = |secs: u64, node: u64| FaultEvent {
+            at: SimTime::from_secs(secs),
+            node,
+            kind: FaultKind::Crash,
+        };
+        let s = FaultSchedule::from_events(vec![e(5, 0), e(1, 1), e(5, 2), e(3, 3)]);
+        let order: Vec<u64> = s.events().iter().map(|ev| ev.node).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(FaultSchedule::none().is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FaultScheduleConfig {
+            seed: 7,
+            crashes: 3,
+            restarts: 2,
+            stragglers: 2,
+            ..FaultScheduleConfig::default()
+        };
+        let a = FaultSchedule::generate(&cfg);
+        let b = FaultSchedule::generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        let c = FaultSchedule::generate(&FaultScheduleConfig { seed: 8, ..cfg });
+        assert_ne!(a, c, "different seeds should draw different schedules");
+    }
+
+    #[test]
+    fn generated_faults_land_inside_the_run() {
+        let cfg = FaultScheduleConfig {
+            seed: 3,
+            horizon: SimDuration::from_secs(1000),
+            nodes: 8,
+            crashes: 10,
+            restarts: 10,
+            stragglers: 10,
+            ..FaultScheduleConfig::default()
+        };
+        let s = FaultSchedule::generate(&cfg);
+        for ev in s.events() {
+            assert!(ev.at >= SimTime::from_secs(100), "too early: {}", ev.at);
+            assert!(ev.at <= SimTime::from_secs(900), "too late: {}", ev.at);
+            assert!(ev.node < 8);
+        }
+    }
+
+    #[test]
+    fn straggler_slowdown_is_floored_at_one() {
+        let cfg = FaultScheduleConfig {
+            stragglers: 1,
+            crashes: 0,
+            slowdown: 0.25,
+            ..FaultScheduleConfig::default()
+        };
+        let s = FaultSchedule::generate(&cfg);
+        match s.events()[0].kind {
+            FaultKind::Straggler { slowdown, .. } => {
+                assert!((slowdown - 1.0).abs() < f64::EPSILON);
+            }
+            other => panic!("expected straggler, got {other:?}"),
+        }
+    }
+}

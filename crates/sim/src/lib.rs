@@ -12,6 +12,10 @@
 //!   [`SimDuration`]) immune to floating-point drift,
 //! * [`event`] — a stable-ordered event queue ([`EventQueue`]) driving the
 //!   simulation loop,
+//! * [`fault`] — deterministic seeded fault schedules ([`FaultSchedule`]):
+//!   node crashes, crash-with-restart, and straggler windows,
+//! * [`net`] — a contended shared-bandwidth link ([`SharedLink`]) from which
+//!   the cluster's "one big switch" network model is assembled,
 //! * [`rng`] — seeded random samplers (zipf, geometric, binomial, …) built
 //!   on [`rand`] so that workload generation needs no extra dependencies,
 //! * [`stats`] — streaming statistics (Welford mean/variance, exact
@@ -24,11 +28,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod event;
+pub mod fault;
+pub mod net;
 mod num;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultScheduleConfig};
+pub use net::SharedLink;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -92,6 +92,39 @@ impl DriftLevel {
     }
 }
 
+/// How hostile the cell's environment is: which seeded fault schedule the
+/// runner injects into the cluster sim (the workload itself is unchanged —
+/// this axis lives here with the other matrix axes so every consumer names
+/// the same cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLevel {
+    /// Failure-free (the legacy matrix; its cells keep their legacy keys).
+    None,
+    /// One seeded mid-run node crash with restart.
+    Crash,
+    /// A crash, a crash-with-restart, and two straggler windows.
+    Chaos,
+}
+
+impl FaultLevel {
+    /// All levels, in sweep order.
+    pub const ALL: [FaultLevel; 3] = [FaultLevel::None, FaultLevel::Crash, FaultLevel::Chaos];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultLevel::None => "none",
+            FaultLevel::Crash => "crash",
+            FaultLevel::Chaos => "chaos",
+        }
+    }
+
+    /// Parses a level from its [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<FaultLevel> {
+        FaultLevel::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
 /// One workload cell of the scenario matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatrixWorkloadSpec {
@@ -268,8 +301,12 @@ mod tests {
         for d in DriftLevel::ALL {
             assert_eq!(DriftLevel::parse(d.name()), Some(d));
         }
+        for l in FaultLevel::ALL {
+            assert_eq!(FaultLevel::parse(l.name()), Some(l));
+        }
         assert_eq!(GeneratorKind::parse("nope"), None);
         assert_eq!(DriftLevel::parse(""), None);
+        assert_eq!(FaultLevel::parse("mayhem"), None);
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn main() {
             throughput_tps: 200_000.0,
             node_cost_per_hour: 50.0,
             metrics_bucket: SimDuration::from_secs(600),
+            network: None,
         },
         reconfig_interval: SimDuration::from_secs(1200), // 20 min
         ..RunConfig::default()

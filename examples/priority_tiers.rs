@@ -72,6 +72,7 @@ fn run(dashboard_price: f64) -> (Workload, Metrics) {
             throughput_tps: 200_000.0,
             node_cost_per_hour: 6.0,
             metrics_bucket: SimDuration::from_secs(60),
+            network: None,
         },
         reconfig_interval: SimDuration::from_secs(300),
         warmup_queries: 120,

@@ -44,6 +44,7 @@ fn main() {
             throughput_tps: 200_000.0,
             node_cost_per_hour: 60.0,
             metrics_bucket: SimDuration::from_secs(60),
+            network: None,
         },
         reconfig_interval: SimDuration::from_secs(600),
         ..RunConfig::default()

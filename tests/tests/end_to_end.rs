@@ -19,6 +19,7 @@ fn cluster() -> ClusterConfig {
         throughput_tps: 500_000.0,
         node_cost_per_hour: 50.0,
         metrics_bucket: SimDuration::from_secs(600),
+        network: None,
     }
 }
 

@@ -33,6 +33,7 @@ fn run_under_session() -> ObsSnapshot {
             throughput_tps: 1_000_000.0,
             node_cost_per_hour: 100.0,
             metrics_bucket: SimDuration::from_secs(600),
+            network: None,
         },
         reconfig_interval: SimDuration::from_secs(300),
         ..RunConfig::default()

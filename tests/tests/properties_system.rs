@@ -180,11 +180,12 @@ proptest! {
             throughput_tps: tps,
             node_cost_per_hour: 60.0,
             metrics_bucket: SimDuration::from_secs(60),
+            network: None,
         });
         let sets: Vec<IntervalSet> = (0..plan.nodes)
             .map(|i| IntervalSet::from_intervals([(i as u64 * 10, i as u64 * 10 + 5)]))
             .collect();
-        sim.reconfigure(&plan_transition(&[], &sets));
+        sim.reconfigure(&plan_transition(&[], &sets)).unwrap();
 
         for (at, _) in &plan.queries {
             sim.schedule_query(
@@ -224,6 +225,9 @@ proptest! {
                 }
                 DriverEvent::Wakeup { .. } => {}
                 DriverEvent::Finished => break,
+                // No faults are scheduled in this property, so failure
+                // events cannot occur.
+                _ => {}
             }
         }
         prop_assert_eq!(completed, plan.queries.len());
@@ -276,6 +280,7 @@ mod audit_system {
                     throughput_tps: 1_000_000.0,
                     node_cost_per_hour: 100.0,
                     metrics_bucket: SimDuration::from_secs(600),
+                    network: None,
                 },
                 ..RunConfig::default()
             };
