@@ -9,12 +9,17 @@ use nashdb_core::value::Chunk;
 
 /// Fragments by repeated best-split (no merging). Produces at most
 /// `max_frags` fragments; stops early when no split reduces error.
+/// Malformed chunks yield a single fragment spanning whatever the chunks
+/// claim to cover (a baseline shouldn't panic where the production
+/// fragmenter returns a typed error).
 ///
 /// # Panics
-/// Panics if `max_frags` is zero or the chunks are malformed.
+/// Panics if `max_frags` is zero.
 pub fn dt_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentation {
     assert!(max_frags > 0, "need at least one fragment");
-    let prefix = ChunkPrefix::new(chunks);
+    let Ok(prefix) = ChunkPrefix::new(chunks) else {
+        return Fragmentation::single(chunks.last().map_or(1, |c| c.end.max(1)));
+    };
     let bounds = prefix.bounds();
     let table_len = prefix.table_len();
 
@@ -81,10 +86,12 @@ mod tests {
         let chunks: Vec<Chunk> = (0..8)
             .map(|i| chunk(i * 10, (i + 1) * 10, (i % 3) as f64))
             .collect();
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         for k in 2..=6 {
             let dt_err = dt_fragmentation(&chunks, k).total_error(&prefix);
-            let opt_err = optimal_fragmentation(&chunks, k).total_error(&prefix);
+            let opt_err = optimal_fragmentation(&chunks, k)
+                .unwrap()
+                .total_error(&prefix);
             assert!(
                 dt_err + 1e-9 >= opt_err,
                 "k={k}: dt {dt_err} < opt {opt_err}"
@@ -106,9 +113,11 @@ mod tests {
             chunk(30, 40, 10.0),
             chunk(40, 50, 0.0),
         ];
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let dt_err = dt_fragmentation(&chunks, 3).total_error(&prefix);
-        let opt_err = optimal_fragmentation(&chunks, 3).total_error(&prefix);
+        let opt_err = optimal_fragmentation(&chunks, 3)
+            .unwrap()
+            .total_error(&prefix);
         assert!(dt_err >= opt_err);
     }
 }

@@ -204,7 +204,7 @@ impl Distributor for ThresholdDistributor {
                 }
                 node_frags[node].push(i);
                 node_used[node] = node_used[node].saturating_add(size);
-                cum += size;
+                cum = cum.saturating_add(size);
             }
         }
 

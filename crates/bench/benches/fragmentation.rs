@@ -33,7 +33,7 @@ fn bench_algorithms(c: &mut Criterion) {
     for m in [64usize, 128, 256] {
         let chunks = chunk_series(m, 7);
         group.bench_with_input(BenchmarkId::new("optimal_dp", m), &m, |b, _| {
-            b.iter(|| black_box(optimal_fragmentation(&chunks, k).len()));
+            b.iter(|| black_box(optimal_fragmentation(&chunks, k).map_or(0, |f| f.len())));
         });
         group.bench_with_input(BenchmarkId::new("greedy", m), &m, |b, _| {
             b.iter(|| {

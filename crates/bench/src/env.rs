@@ -99,7 +99,7 @@ impl ExpEnv {
         let mut cum = 0u64;
         let mut v_ref = pool.last().map_or(0.0, |&(_, v)| v);
         for &(n, v) in &pool {
-            cum += n;
+            cum = cum.saturating_add(n);
             if cum as f64 >= 0.99 * total_tuples as f64 {
                 v_ref = v;
                 break;

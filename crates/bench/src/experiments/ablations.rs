@@ -50,7 +50,7 @@ pub fn run_market() {
         }
         let chunks = est.chunks(table);
         let frag = split_oversized(&Fragmentation::single(table), (table / frags as u64).max(1));
-        let stats = fragment_stats(&frag, &chunks);
+        let stats = fragment_stats(&frag, &chunks).unwrap_or_default();
         let policy =
             ReplicationPolicy::new(WINDOW, NodeSpec::new(0.25, 1_000_000)).with_max_replicas(4_096);
 
@@ -127,7 +127,9 @@ pub fn run_merge2() {
                 }
                 for (est, frag, len) in &tables {
                     let chunks = est.chunks(*len);
-                    let prefix = ChunkPrefix::new(&chunks);
+                    let Ok(prefix) = ChunkPrefix::new(&chunks) else {
+                        continue; // estimator never emits malformed chunks
+                    };
                     sums[slot] += frag.fragmentation().total_error(&prefix);
                 }
             }

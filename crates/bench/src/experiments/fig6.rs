@@ -64,11 +64,15 @@ impl TableTrack {
     /// Recomputes every algorithm's error for this table.
     fn refresh(&mut self, greedy_rounds: usize) {
         let chunks = self.est.chunks(self.len);
-        let prefix = ChunkPrefix::new(&chunks);
+        let Ok(prefix) = ChunkPrefix::new(&chunks) else {
+            return; // estimator never emits malformed chunks
+        };
         let scans: Vec<(u64, u64)> = self.scans.iter().copied().collect();
         self.greedy.run(&chunks, greedy_rounds);
         self.cached = [
-            optimal_fragmentation(&chunks, MAX_FRAGS).total_error(&prefix),
+            // MAX_FRAGS > 0 and the chunks just validated, so this cannot
+            // fail; 0.0 keeps the table printable if it ever does.
+            optimal_fragmentation(&chunks, MAX_FRAGS).map_or(0.0, |f| f.total_error(&prefix)),
             self.greedy.fragmentation().total_error(&prefix),
             dt_fragmentation(&chunks, MAX_FRAGS).total_error(&prefix),
             naive_fragmentation(self.len, MAX_FRAGS).total_error(&prefix),

@@ -40,7 +40,7 @@ fn measure(window: usize, table_len: u64) -> (usize, usize, f64, f64) {
     let t0 = Instant::now();
     let mut sink = 0usize;
     for _ in 0..m {
-        sink += est.chunks(table_len).len();
+        sink = sink.saturating_add(est.chunks(table_len).len());
     }
     let access_ms = t0.elapsed().as_secs_f64() * 1e3 / m as f64;
     assert!(sink > 0);

@@ -197,13 +197,11 @@ fn cell_faults(level: FaultLevel, w: &Workload, env: &ExpEnv, seed: u64) -> Faul
     if level == FaultLevel::None {
         return FaultSchedule::none();
     }
-    let last_arrival = w
-        .queries
-        .last()
-        .map_or(SimDuration::ZERO, |q| q.at.saturating_since(nashdb_sim::SimTime::ZERO));
-    let drain_est = SimDuration::from_secs_f64(
-        w.total_read() as f64 / (env.run.cluster.throughput_tps * 4.0),
-    );
+    let last_arrival = w.queries.last().map_or(SimDuration::ZERO, |q| {
+        q.at.saturating_since(nashdb_sim::SimTime::ZERO)
+    });
+    let drain_est =
+        SimDuration::from_secs_f64(w.total_read() as f64 / (env.run.cluster.throughput_tps * 4.0));
     let horizon = (last_arrival + drain_est).max(SimDuration::from_secs(60));
     let tenth = SimDuration::from_secs_f64(horizon.as_secs_f64() / 10.0);
     let base = FaultScheduleConfig {

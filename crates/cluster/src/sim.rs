@@ -266,9 +266,14 @@ enum Event {
         tuples: u64,
     },
     /// A scheduled fault fires against a logical slot.
-    Fault { node: u64, kind: FaultKind },
+    Fault {
+        node: u64,
+        kind: FaultKind,
+    },
     /// A crashed node finishes rebooting.
-    Restart { phys: usize },
+    Restart {
+        phys: usize,
+    },
     Wakeup(u64),
 }
 
@@ -463,8 +468,11 @@ impl ClusterSim {
             return false;
         }
         self.done.insert(id);
-        self.metrics.availability.queries_abandoned =
-            self.metrics.availability.queries_abandoned.saturating_add(1);
+        self.metrics.availability.queries_abandoned = self
+            .metrics
+            .availability
+            .queries_abandoned
+            .saturating_add(1);
         nashdb_obs::counter_add("cluster.queries_abandoned", 1);
         true
     }
@@ -762,7 +770,8 @@ impl ClusterSim {
             node.in_service = Some(job);
             node.service_started = now;
             let epoch = node.epoch;
-            self.events.schedule(now + service, Event::JobDone { phys, epoch });
+            self.events
+                .schedule(now + service, Event::JobDone { phys, epoch });
         } else {
             node.queue.push_back(job);
         }
@@ -821,7 +830,8 @@ impl ClusterSim {
             node.in_service = Some(next);
             node.service_started = now;
             let epoch = node.epoch;
-            self.events.schedule(now + service, Event::JobDone { phys, epoch });
+            self.events
+                .schedule(now + service, Event::JobDone { phys, epoch });
         } else {
             self.maybe_retire(phys, now);
         }
@@ -1001,7 +1011,8 @@ impl ClusterSim {
                 .push_back(DriverEvent::QueryFailed { id, attempts });
         }
         if let Some(down_for) = restart_after {
-            self.events.schedule(now + down_for, Event::Restart { phys });
+            self.events
+                .schedule(now + down_for, Event::Restart { phys });
         }
         // A decommissioned node that crashes has drained the hard way.
         self.maybe_retire(phys, now);

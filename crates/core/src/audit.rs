@@ -87,6 +87,9 @@ pub enum AuditError {
         /// The DP optimum for the same `k`.
         optimal: f64,
     },
+    /// The audited value chunks are malformed (empty, offset, or
+    /// discontiguous), so no fragmentation property can be re-derived.
+    InvalidChunks(crate::fragment::FragmentError),
     /// The replica configuration is not a Nash equilibrium.
     Equilibrium(EquilibriumViolation),
     /// A packed node references a fragment with no replication decision.
@@ -166,6 +169,7 @@ impl std::fmt::Display for AuditError {
             AuditError::BeatsOptimal { actual, optimal } => {
                 write!(f, "error {actual} beats the DP optimum {optimal}")
             }
+            AuditError::InvalidChunks(e) => write!(f, "malformed value chunks: {e}"),
             AuditError::Equilibrium(v) => write!(f, "not a Nash equilibrium: {v}"),
             AuditError::UnknownFragment { fragment, node } => {
                 write!(f, "node {node} hosts unknown fragment {fragment}")
@@ -314,9 +318,9 @@ pub fn audit_fragmentation(
         });
     }
     if !chunks.is_empty() && chunks.len() <= OPTIMALITY_CHUNK_LIMIT {
-        let prefix = ChunkPrefix::new(chunks);
+        let prefix = ChunkPrefix::new(chunks).map_err(AuditError::InvalidChunks)?;
         let actual = frag.total_error(&prefix);
-        let best = optimal_fragmentation(chunks, frag.len());
+        let best = optimal_fragmentation(chunks, frag.len()).map_err(AuditError::InvalidChunks)?;
         let optimal = best.total_error(&prefix);
         // Relative tolerance: errors scale with value² × tuples.
         let tol = AUDIT_EPSILON * (1.0 + optimal.abs());
@@ -600,7 +604,7 @@ mod tests {
 
     #[test]
     fn optimal_fragmentation_passes_audit() {
-        let frag = optimal_fragmentation(&chunks(), 3);
+        let frag = optimal_fragmentation(&chunks(), 3).unwrap();
         audit_fragmentation(&frag, &chunks(), 3).unwrap();
     }
 
@@ -620,7 +624,7 @@ mod tests {
 
     fn scheme() -> ClusterScheme {
         let frag = Fragmentation::from_boundaries(vec![0, 10, 60, 100]);
-        let stats = fragment_stats(&frag, &chunks());
+        let stats = fragment_stats(&frag, &chunks()).unwrap();
         let policy = ReplicationPolicy::new(10, NodeSpec::new(1.0, 120));
         ClusterScheme::build(&stats, policy).unwrap()
     }

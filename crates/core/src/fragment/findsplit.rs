@@ -11,6 +11,7 @@
 //! present, tested, and *proved equivalent* to the optimized one — see the
 //! differential tests below and `crates/core/tests/`.
 
+use super::FragmentError;
 use crate::value::Chunk;
 
 /// The outcome of `FindSplit` on a fragment.
@@ -27,15 +28,23 @@ pub struct SplitPoint {
 /// tuple-run, as Appendix C notes one may), maintaining left/right sums and
 /// squared sums, and returns the best split.
 ///
-/// Returns `None` for fragments of fewer than two tuples (no interior
+/// Returns `Ok(None)` for fragments of fewer than two tuples (no interior
 /// point).
 ///
-/// # Panics
-/// Panics if `[start, end)` is not covered by `chunks`.
-pub fn find_split(chunks: &[Chunk], start: u64, end: u64) -> Option<SplitPoint> {
-    assert!(start < end, "empty fragment {start}..{end}");
+/// # Errors
+/// Returns [`FragmentError::EmptyRange`] if `start >= end` and
+/// [`FragmentError::Uncovered`] if `[start, end)` is not covered by
+/// `chunks`.
+pub fn find_split(
+    chunks: &[Chunk],
+    start: u64,
+    end: u64,
+) -> Result<Option<SplitPoint>, FragmentError> {
+    if start >= end {
+        return Err(FragmentError::EmptyRange { start, end });
+    }
     if end - start < 2 {
-        return None;
+        return Ok(None);
     }
 
     // Clip the chunk list to the fragment.
@@ -48,7 +57,13 @@ pub fn find_split(chunks: &[Chunk], start: u64, end: u64) -> Option<SplitPoint> 
         })
         .collect();
     let covered: u64 = runs.iter().map(|&(n, _)| n).sum();
-    assert_eq!(covered, end - start, "chunks do not cover {start}..{end}");
+    if covered != end - start {
+        return Err(FragmentError::Uncovered {
+            start,
+            end,
+            covered,
+        });
+    }
 
     // Lines 2–5 of Algorithm 2: α/α₂ hold the left side (initially the
     // first tuple), β/β₂ the right side (everything else).
@@ -97,7 +112,7 @@ pub fn find_split(chunks: &[Chunk], start: u64, end: u64) -> Option<SplitPoint> 
         beta2 -= n as f64 * v * v;
         pos += n;
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -112,7 +127,7 @@ mod tests {
     #[test]
     fn splits_a_step_at_the_step() {
         let chunks = [chunk(0, 50, 1.0), chunk(50, 100, 9.0)];
-        let s = find_split(&chunks, 0, 100).unwrap();
+        let s = find_split(&chunks, 0, 100).unwrap().unwrap();
         assert_eq!(s.point, 50);
         assert!(s.error < 1e-9);
     }
@@ -120,13 +135,13 @@ mod tests {
     #[test]
     fn single_tuple_fragment_has_no_split() {
         let chunks = [chunk(0, 10, 1.0)];
-        assert_eq!(find_split(&chunks, 3, 4), None);
+        assert_eq!(find_split(&chunks, 3, 4), Ok(None));
     }
 
     #[test]
     fn constant_fragment_any_split_is_zero_error() {
         let chunks = [chunk(0, 100, 2.0)];
-        let s = find_split(&chunks, 10, 90).unwrap();
+        let s = find_split(&chunks, 10, 90).unwrap().unwrap();
         assert!(s.error < 1e-9);
         assert!(s.point > 10 && s.point < 90);
     }
@@ -146,8 +161,8 @@ mod tests {
                 chunks.push(chunk(pos, pos + len, rng.gen_range(0.0..5.0f64)));
                 pos += len;
             }
-            let prefix = ChunkPrefix::new(&chunks);
-            let got = find_split(&chunks, 0, pos);
+            let prefix = ChunkPrefix::new(&chunks).unwrap();
+            let got = find_split(&chunks, 0, pos).unwrap();
             if pos < 2 {
                 assert_eq!(got, None);
                 continue;
@@ -185,8 +200,8 @@ mod tests {
                 chunks.push(chunk(pos, pos + len, rng.gen_range(0.0..5.0f64)));
                 pos += len;
             }
-            let prefix = ChunkPrefix::new(&chunks);
-            let all = find_split(&chunks, 0, pos).unwrap();
+            let prefix = ChunkPrefix::new(&chunks).unwrap();
+            let all = find_split(&chunks, 0, pos).unwrap().unwrap();
             let boundary_best = chunks[..m - 1]
                 .iter()
                 .map(|c| prefix.error(0, c.end) + prefix.error(c.end, pos))
@@ -207,9 +222,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "do not cover")]
-    fn uncovered_fragment_panics() {
+    fn uncovered_fragment_rejected() {
         let chunks = [chunk(0, 10, 1.0)];
-        let _ = find_split(&chunks, 5, 20);
+        assert_eq!(
+            find_split(&chunks, 5, 20),
+            Err(FragmentError::Uncovered {
+                start: 5,
+                end: 20,
+                covered: 5
+            })
+        );
+        assert_eq!(
+            find_split(&chunks, 5, 5),
+            Err(FragmentError::EmptyRange { start: 5, end: 5 })
+        );
     }
 }

@@ -154,18 +154,28 @@ impl GreedyFragmenter {
     /// if the merge+split pair does not reduce total error (so the greedy
     /// trajectory is monotone and cannot oscillate at the cap).
     ///
-    /// # Panics
-    /// Panics if the chunks do not cover this fragmenter's table.
+    /// Malformed chunks, or chunks covering a different table than this
+    /// fragmenter, leave the fragmentation untouched and report
+    /// [`StepOutcome::Stable`]; debug builds assert so tests catch the
+    /// contract violation.
     pub fn step(&mut self, chunks: &[Chunk]) -> StepOutcome {
-        let prefix = ChunkPrefix::new(chunks);
-        let Some(&table_len) = self.boundaries.last() else {
-            unreachable!("a fragmenter always keeps at least two boundaries");
+        let Ok(prefix) = ChunkPrefix::new(chunks) else {
+            debug_assert!(
+                ChunkPrefix::new(chunks).is_ok(),
+                "malformed value chunks: {:?}",
+                ChunkPrefix::new(chunks).err()
+            );
+            return StepOutcome::Stable;
         };
-        assert_eq!(
+        let table_len = self.boundaries.last().map_or(0, |&b| b);
+        debug_assert_eq!(
             prefix.table_len(),
             table_len,
             "value function covers a different table"
         );
+        if prefix.table_len() != table_len {
+            return StepOutcome::Stable;
+        }
 
         if self.len() < self.max_frags {
             if let Some((frag_idx, point, _gain)) = self.best_split(&prefix) {
@@ -266,16 +276,20 @@ impl GreedyFragmenter {
             // The optimal two-way cut of [a, d): chunk boundaries plus the
             // existing cuts b and c (which are always legal and guarantee a
             // candidate even when no value change falls strictly inside).
+            // Cut b is always a valid candidate, so best_cut cannot come
+            // back empty; skip the triple rather than panic if it ever does.
             let Some((point, new)) = best_cut(prefix, a, d, &[b, c]) else {
-                unreachable!("cut b is always a valid candidate");
+                continue;
             };
             let delta = new - old;
             if best.is_none_or(|(_, _, d0)| delta < d0) {
                 best = Some((i, point, delta));
             }
         }
+        // len >= 3 yields at least one triple; leave boundaries untouched
+        // in the impossible empty case instead of panicking.
         let Some((i, point, _)) = best else {
-            unreachable!("len >= 3 yields at least one triple");
+            return;
         };
         // Replace boundaries b, c with the single cut `point`.
         self.boundaries.splice(i + 1..i + 3, [point]);
@@ -296,8 +310,10 @@ impl GreedyFragmenter {
                 best = Some((i, delta));
             }
         }
+        // len >= 2 yields an interior boundary; a no-op beats a panic in
+        // the impossible empty case.
         let Some((i, _)) = best else {
-            unreachable!("len >= 2 yields an interior boundary");
+            return;
         };
         self.boundaries.remove(i);
     }
@@ -356,7 +372,7 @@ mod tests {
         ];
         let mut g = GreedyFragmenter::new(40, 4);
         g.run(&chunks, 16);
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         assert!(g.fragmentation().total_error(&prefix) < 1e-9);
         assert_eq!(g.len(), 4);
     }
@@ -378,7 +394,7 @@ mod tests {
         let chunks: Vec<Chunk> = (0..16)
             .map(|i| chunk(i * 4, (i + 1) * 4, ((i * 13) % 11) as f64))
             .collect();
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let mut g = GreedyFragmenter::new(64, 16);
         let mut prev = g.fragmentation().total_error(&prefix);
         while g.step(&chunks) == StepOutcome::Changed {
@@ -402,7 +418,7 @@ mod tests {
         // boundaries {0,30,80,100} with a cap of 3 requires merging a triple
         // back into two so the freed split can land at the new edge.
         let new = vec![chunk(0, 30, 0.0), chunk(30, 80, 5.0), chunk(80, 100, 0.0)];
-        let prefix = ChunkPrefix::new(&new);
+        let prefix = ChunkPrefix::new(&new).unwrap();
         let before = g.fragmentation().total_error(&prefix);
         g.run(&new, 16);
         let after = g.fragmentation().total_error(&prefix);
@@ -428,8 +444,10 @@ mod tests {
                 pos += len;
             }
             let k = rng.gen_range(2..=m.min(8));
-            let prefix = ChunkPrefix::new(&chunks);
-            let opt = optimal_fragmentation(&chunks, k).total_error(&prefix);
+            let prefix = ChunkPrefix::new(&chunks).unwrap();
+            let opt = optimal_fragmentation(&chunks, k)
+                .unwrap()
+                .total_error(&prefix);
             let mut g = GreedyFragmenter::new(pos, k);
             g.run(&chunks, 200);
             let greedy = g.fragmentation().total_error(&prefix);
@@ -468,7 +486,7 @@ mod tests {
     fn pairwise_merge_adapts_worse_than_triple() {
         let old = vec![chunk(0, 50, 5.0), chunk(50, 100, 0.0)];
         let new = vec![chunk(0, 30, 0.0), chunk(30, 80, 5.0), chunk(80, 100, 0.0)];
-        let prefix = ChunkPrefix::new(&new);
+        let prefix = ChunkPrefix::new(&new).unwrap();
         let run_with = |policy: MergePolicy| {
             let mut g = GreedyFragmenter::new(100, 3).with_merge_policy(policy);
             g.run(&old, 8);

@@ -28,6 +28,120 @@ pub use prefix::ChunkPrefix;
 use crate::ids::FragmentId;
 use crate::value::Chunk;
 
+/// Contract violations of the fragmentation layer, surfaced as typed errors
+/// instead of panics (the same convention as `RouteError` and
+/// `HungarianError`): malformed value-chunk inputs and out-of-contract
+/// queries. Construction-time validation lives in [`ChunkPrefix::new`]; the
+/// `try_*` query variants re-validate per call for callers that cannot
+/// guarantee the contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FragmentError {
+    /// No value chunks were provided.
+    NoChunks,
+    /// The first chunk does not start at tuple 0.
+    NotAtZero {
+        /// Where the first chunk actually starts.
+        start: u64,
+    },
+    /// Adjacent chunks leave a gap or overlap.
+    Discontiguous {
+        /// Where the next chunk had to start.
+        expected: u64,
+        /// Where it actually starts.
+        got: u64,
+    },
+    /// A chunk covers no tuples.
+    EmptyChunk {
+        /// The chunk's start.
+        start: u64,
+        /// The chunk's (non-exclusive-of-start) end.
+        end: u64,
+    },
+    /// A queried tuple index is beyond the table.
+    TupleOutOfRange {
+        /// The tuple index.
+        x: u64,
+        /// The table length.
+        table_len: u64,
+    },
+    /// A queried fragment range `[start, end)` is empty.
+    EmptyRange {
+        /// Range start.
+        start: u64,
+        /// Range end.
+        end: u64,
+    },
+    /// A queried fragment range extends beyond the table.
+    RangeBeyondTable {
+        /// Range start.
+        start: u64,
+        /// Range end.
+        end: u64,
+        /// The table length.
+        table_len: u64,
+    },
+    /// A fragment range is not fully covered by the given chunks.
+    Uncovered {
+        /// Range start.
+        start: u64,
+        /// Range end.
+        end: u64,
+        /// Tuples of the range the chunks actually cover.
+        covered: u64,
+    },
+    /// The requested fragment budget is zero.
+    ZeroMaxFrags,
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FragmentError::NoChunks => write!(f, "cannot build prefix over no chunks"),
+            FragmentError::NotAtZero { start } => {
+                write!(f, "chunks must start at tuple 0, got {start}")
+            }
+            FragmentError::Discontiguous { expected, got } => {
+                write!(
+                    f,
+                    "chunks must be contiguous: expected start {expected}, got {got}"
+                )
+            }
+            FragmentError::EmptyChunk { start, end } => {
+                write!(f, "empty chunk {start}..{end}")
+            }
+            FragmentError::TupleOutOfRange { x, table_len } => {
+                write!(f, "tuple {x} out of range (table length {table_len})")
+            }
+            FragmentError::EmptyRange { start, end } => {
+                write!(f, "empty fragment {start}..{end}")
+            }
+            FragmentError::RangeBeyondTable {
+                start,
+                end,
+                table_len,
+            } => {
+                write!(
+                    f,
+                    "fragment {start}..{end} beyond table of {table_len} tuples"
+                )
+            }
+            FragmentError::Uncovered {
+                start,
+                end,
+                covered,
+            } => {
+                write!(
+                    f,
+                    "chunks do not cover {start}..{end} (only {covered} tuples covered)"
+                )
+            }
+            FragmentError::ZeroMaxFrags => write!(f, "need at least one fragment"),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
 /// A fragment's tuple range: `start` inclusive, `end` exclusive, in the
 /// physical ordering of its table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -258,16 +372,23 @@ pub struct FragmentStats {
 }
 
 /// Computes [`FragmentStats`] for every fragment of a scheme.
-pub fn fragment_stats(frag: &Fragmentation, chunks: &[Chunk]) -> Vec<FragmentStats> {
-    let prefix = ChunkPrefix::new(chunks);
-    frag.fragments()
+///
+/// # Errors
+/// Returns a chunk-validation [`FragmentError`] if `chunks` is malformed.
+pub fn fragment_stats(
+    frag: &Fragmentation,
+    chunks: &[Chunk],
+) -> Result<Vec<FragmentStats>, FragmentError> {
+    let prefix = ChunkPrefix::new(chunks)?;
+    Ok(frag
+        .fragments()
         .map(|(id, range)| FragmentStats {
             id,
             range,
             value: prefix.sum(range.start, range.end),
             error: prefix.error(range.start, range.end),
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -385,7 +506,7 @@ mod tests {
             },
         ];
         let f = Fragmentation::from_boundaries(vec![0, 5, 30]);
-        let stats = fragment_stats(&f, &chunks);
+        let stats = fragment_stats(&f, &chunks).unwrap();
         let total: f64 = stats.iter().map(|s| s.value).sum();
         assert!((total - 40.0).abs() < 1e-9);
         // First fragment is entirely inside the constant chunk: zero error.

@@ -9,7 +9,7 @@
 //! `O(maxFrags · m)` space, with `m ≤ 2|W| + 1`.
 
 use super::prefix::ChunkPrefix;
-use super::Fragmentation;
+use super::{FragmentError, Fragmentation};
 use crate::value::Chunk;
 
 /// Computes a fragmentation of minimum total error with **at most**
@@ -20,15 +20,21 @@ use crate::value::Chunk;
 /// inside constant-value runs could not reduce it (the paper's `|F| =
 /// maxFrags` constraint is met with equality only when it matters).
 ///
-/// # Panics
-/// Panics if `max_frags` is zero or `chunks` is empty/malformed.
+/// # Errors
+/// Returns [`FragmentError::ZeroMaxFrags`] if `max_frags` is zero and a
+/// chunk-validation error if `chunks` is empty/malformed.
 #[allow(clippy::needless_range_loop)] // index arithmetic *is* the DP
-pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentation {
-    assert!(max_frags > 0, "need at least one fragment");
+pub fn optimal_fragmentation(
+    chunks: &[Chunk],
+    max_frags: usize,
+) -> Result<Fragmentation, FragmentError> {
+    if max_frags == 0 {
+        return Err(FragmentError::ZeroMaxFrags);
+    }
     let watch = crate::obs_hooks::stopwatch();
     crate::obs_hooks::counter_add("fragment.optimal_runs", 1);
     crate::obs_hooks::record("fragment.optimal_chunks", chunks.len() as u64);
-    let prefix = ChunkPrefix::new(chunks);
+    let prefix = ChunkPrefix::new(chunks)?;
     let bounds = prefix.bounds();
     let m = prefix.num_chunks();
     let k = max_frags.min(m);
@@ -36,7 +42,7 @@ pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentatio
     if k == m {
         // One fragment per chunk: zero error, no DP needed.
         watch.record("fragment.optimal_ns");
-        return Fragmentation::from_boundaries(bounds.to_vec());
+        return Ok(Fragmentation::from_boundaries(bounds.to_vec()));
     }
 
     // err(a_chunk, b_chunk): error of the fragment spanning chunks [a, b).
@@ -95,7 +101,7 @@ pub fn optimal_fragmentation(chunks: &[Chunk], max_frags: usize) -> Fragmentatio
     cuts.reverse();
     let boundaries: Vec<u64> = cuts.into_iter().map(|c| bounds[c]).collect();
     watch.record("fragment.optimal_ns");
-    Fragmentation::from_boundaries(boundaries)
+    Ok(Fragmentation::from_boundaries(boundaries))
 }
 
 #[cfg(test)]
@@ -110,7 +116,7 @@ mod tests {
     /// Brute force: try every way to cut `m` chunks into exactly `k`
     /// fragments and return the minimum error.
     fn brute_force_error(chunks: &[Chunk], k: usize) -> f64 {
-        let prefix = ChunkPrefix::new(chunks);
+        let prefix = ChunkPrefix::new(chunks).unwrap();
         let bounds = prefix.bounds().to_vec();
         let m = chunks.len();
         fn rec(
@@ -151,9 +157,9 @@ mod tests {
         // Paper Fig. 3: a low-valued run followed by a high-valued run. Two
         // fragments should split exactly at the value change.
         let chunks = vec![chunk(0, 50, 1.0), chunk(50, 100, 5.0)];
-        let f = optimal_fragmentation(&chunks, 2);
+        let f = optimal_fragmentation(&chunks, 2).unwrap();
         assert_eq!(f.boundaries(), &[0, 50, 100]);
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         assert!(f.total_error(&prefix) < 1e-9);
     }
 
@@ -166,12 +172,18 @@ mod tests {
             chunk(30, 40, 9.0),
         ];
         for k in 1..=4 {
-            let f = optimal_fragmentation(&chunks, k);
+            let f = optimal_fragmentation(&chunks, k).unwrap();
             assert!(f.len() <= k, "k={k} gave {} fragments", f.len());
         }
         // With k = m, error is zero.
-        let prefix = ChunkPrefix::new(&chunks);
-        assert!(optimal_fragmentation(&chunks, 4).total_error(&prefix) < 1e-12);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
+        let f = optimal_fragmentation(&chunks, 4).unwrap();
+        assert!(f.total_error(&prefix) < 1e-12);
+        // k = 0 is a contract violation, surfaced as a typed error.
+        assert_eq!(
+            optimal_fragmentation(&chunks, 0).unwrap_err(),
+            FragmentError::ZeroMaxFrags
+        );
     }
 
     #[test]
@@ -188,8 +200,8 @@ mod tests {
                 pos += len;
             }
             let k = rng.gen_range(1..=m);
-            let f = optimal_fragmentation(&chunks, k);
-            let prefix = ChunkPrefix::new(&chunks);
+            let f = optimal_fragmentation(&chunks, k).unwrap();
+            let prefix = ChunkPrefix::new(&chunks).unwrap();
             let dp_err = f.total_error(&prefix);
             let bf_err = brute_force_error(&chunks, k.min(m));
             assert!(
@@ -202,7 +214,7 @@ mod tests {
     #[test]
     fn single_fragment_covers_table() {
         let chunks = vec![chunk(0, 10, 1.0), chunk(10, 20, 2.0)];
-        let f = optimal_fragmentation(&chunks, 1);
+        let f = optimal_fragmentation(&chunks, 1).unwrap();
         assert_eq!(f.boundaries(), &[0, 20]);
     }
 
@@ -216,10 +228,12 @@ mod tests {
             chunk(23, 40, 4.0),
             chunk(40, 55, 6.0),
         ];
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let mut prev = f64::INFINITY;
         for k in 1..=5 {
-            let e = optimal_fragmentation(&chunks, k).total_error(&prefix);
+            let e = optimal_fragmentation(&chunks, k)
+                .unwrap()
+                .total_error(&prefix);
             assert!(e <= prev + 1e-9, "error rose from {prev} to {e} at k={k}");
             prev = e;
         }

@@ -6,6 +6,7 @@
 //! array lookup of the paper, plus a binary search because our "array" is
 //! compressed into runs.
 
+use super::FragmentError;
 use crate::value::Chunk;
 
 /// Prefix sums of `V(x)` and `V(x)²` over a chunked value function.
@@ -25,12 +26,16 @@ impl ChunkPrefix {
     /// Builds prefix statistics from contiguous chunks covering
     /// `[0, table_len)`.
     ///
-    /// # Panics
-    /// Panics if the chunks are empty, do not start at zero, or are not
-    /// contiguous.
-    pub fn new(chunks: &[Chunk]) -> Self {
-        assert!(!chunks.is_empty(), "cannot build prefix over no chunks");
-        assert_eq!(chunks[0].start, 0, "chunks must start at tuple 0");
+    /// # Errors
+    /// Returns a [`FragmentError`] if the chunks are empty, do not start at
+    /// zero, are not contiguous, or contain an empty chunk.
+    pub fn new(chunks: &[Chunk]) -> Result<Self, FragmentError> {
+        let Some(first) = chunks.first() else {
+            return Err(FragmentError::NoChunks);
+        };
+        if first.start != 0 {
+            return Err(FragmentError::NotAtZero { start: first.start });
+        }
         let m = chunks.len();
         let mut bounds = Vec::with_capacity(m + 1);
         let mut values = Vec::with_capacity(m);
@@ -43,8 +48,18 @@ impl ChunkPrefix {
         let mut acc2 = 0.0;
         let mut prev_end = 0;
         for c in chunks {
-            assert_eq!(c.start, prev_end, "chunks must be contiguous");
-            assert!(c.end > c.start, "empty chunk");
+            if c.start != prev_end {
+                return Err(FragmentError::Discontiguous {
+                    expected: prev_end,
+                    got: c.start,
+                });
+            }
+            if c.end <= c.start {
+                return Err(FragmentError::EmptyChunk {
+                    start: c.start,
+                    end: c.end,
+                });
+            }
             prev_end = c.end;
             acc += c.sum();
             acc2 += c.sum_sq();
@@ -53,20 +68,17 @@ impl ChunkPrefix {
             s.push(acc);
             s2.push(acc2);
         }
-        ChunkPrefix {
+        Ok(ChunkPrefix {
             bounds,
             values,
             s,
             s2,
-        }
+        })
     }
 
     /// Total number of tuples covered.
     pub fn table_len(&self) -> u64 {
-        let Some(&last) = self.bounds.last() else {
-            unreachable!("the constructor always pushes boundary 0");
-        };
-        last
+        self.bounds.last().map_or(0, |&last| last)
     }
 
     /// Number of chunks.
@@ -82,12 +94,17 @@ impl ChunkPrefix {
 
     /// Index of the chunk containing tuple `x`.
     ///
-    /// # Panics
-    /// Panics if `x >= table_len`.
-    pub fn chunk_of(&self, x: u64) -> usize {
-        assert!(x < self.table_len(), "tuple {x} out of range");
+    /// # Errors
+    /// Returns [`FragmentError::TupleOutOfRange`] if `x >= table_len`.
+    pub fn chunk_of(&self, x: u64) -> Result<usize, FragmentError> {
+        if x >= self.table_len() {
+            return Err(FragmentError::TupleOutOfRange {
+                x,
+                table_len: self.table_len(),
+            });
+        }
         // partition_point gives the first bound > x; the chunk is one before.
-        self.bounds.partition_point(|&b| b <= x) - 1
+        Ok(self.bounds.partition_point(|&b| b <= x).saturating_sub(1))
     }
 
     /// Σ V(x) over tuple range `[a, b)`.
@@ -105,14 +122,39 @@ impl ChunkPrefix {
     /// variance of `V(x)` over `[a, b)`. Clamped at zero against float
     /// residue.
     ///
-    /// # Panics
-    /// Panics if `a >= b` or the range exceeds the table.
+    /// Out-of-contract ranges (empty, or extending beyond the table) are
+    /// clamped and contribute zero error; debug builds assert on them so
+    /// tests still catch misuse. Use [`ChunkPrefix::try_error`] to surface
+    /// the violation as a typed error instead.
     pub fn error(&self, a: u64, b: u64) -> f64 {
-        assert!(a < b, "empty fragment {a}..{b}");
-        assert!(b <= self.table_len(), "fragment {a}..{b} beyond table");
+        debug_assert!(a < b, "empty fragment {a}..{b}");
+        debug_assert!(b <= self.table_len(), "fragment {a}..{b} beyond table");
+        let b = b.min(self.table_len());
+        if a >= b {
+            return 0.0;
+        }
         let sum = self.sum(a, b);
         let sum_sq = self.sum_sq(a, b);
         (sum_sq - sum * sum / (b - a) as f64).max(0.0)
+    }
+
+    /// Checked variant of [`ChunkPrefix::error`].
+    ///
+    /// # Errors
+    /// Returns [`FragmentError::EmptyRange`] if `a >= b` and
+    /// [`FragmentError::RangeBeyondTable`] if `b > table_len`.
+    pub fn try_error(&self, a: u64, b: u64) -> Result<f64, FragmentError> {
+        if a >= b {
+            return Err(FragmentError::EmptyRange { start: a, end: b });
+        }
+        if b > self.table_len() {
+            return Err(FragmentError::RangeBeyondTable {
+                start: a,
+                end: b,
+                table_len: self.table_len(),
+            });
+        }
+        Ok(self.error(a, b))
     }
 
     /// Cumulative Σ V^`power` for tuples before index `x` (which may be
@@ -122,12 +164,10 @@ impl ChunkPrefix {
             return 0.0;
         }
         if x >= self.table_len() {
-            let Some(&total) = prefix.last() else {
-                unreachable!("prefix arrays always hold the leading 0.0");
-            };
-            return total;
+            return prefix.last().map_or(0.0, |&total| total);
         }
-        let idx = self.chunk_of(x);
+        // In range by the guard above, so chunk_of cannot fail.
+        let idx = self.bounds.partition_point(|&b| b <= x).saturating_sub(1);
         let v = self.values[idx];
         let partial = (x - self.bounds[idx]) as f64 * v.powi(power as i32);
         prefix[idx] + partial
@@ -164,7 +204,7 @@ mod tests {
 
     #[test]
     fn sums_match_direct() {
-        let p = ChunkPrefix::new(&chunks());
+        let p = ChunkPrefix::new(&chunks()).unwrap();
         assert_eq!(p.table_len(), 12);
         assert_eq!(p.num_chunks(), 3);
         assert_close(p.sum(0, 12), 4.0 + 18.0);
@@ -176,16 +216,23 @@ mod tests {
 
     #[test]
     fn chunk_of_boundaries() {
-        let p = ChunkPrefix::new(&chunks());
-        assert_eq!(p.chunk_of(0), 0);
-        assert_eq!(p.chunk_of(3), 0);
-        assert_eq!(p.chunk_of(4), 1);
-        assert_eq!(p.chunk_of(11), 2);
+        let p = ChunkPrefix::new(&chunks()).unwrap();
+        assert_eq!(p.chunk_of(0), Ok(0));
+        assert_eq!(p.chunk_of(3), Ok(0));
+        assert_eq!(p.chunk_of(4), Ok(1));
+        assert_eq!(p.chunk_of(11), Ok(2));
+        assert_eq!(
+            p.chunk_of(12),
+            Err(FragmentError::TupleOutOfRange {
+                x: 12,
+                table_len: 12
+            })
+        );
     }
 
     #[test]
     fn error_of_constant_range_is_zero() {
-        let p = ChunkPrefix::new(&chunks());
+        let p = ChunkPrefix::new(&chunks()).unwrap();
         assert_close(p.error(0, 4), 0.0);
         assert_close(p.error(4, 10), 0.0);
         assert_close(p.error(5, 9), 0.0);
@@ -193,7 +240,7 @@ mod tests {
 
     #[test]
     fn error_matches_direct_variance() {
-        let p = ChunkPrefix::new(&chunks());
+        let p = ChunkPrefix::new(&chunks()).unwrap();
         // Range 2..6: values [1,1,3,3]; mean 2; sum sq dev = 4.
         assert_close(p.error(2, 6), 4.0);
         // Whole table: values [1×4, 3×6, 0×2]; mean 22/12.
@@ -210,16 +257,15 @@ mod tests {
             end: 1000,
             value: 0.1,
         }];
-        let p = ChunkPrefix::new(&c);
+        let p = ChunkPrefix::new(&c).unwrap();
         for a in (0..900).step_by(97) {
             assert!(p.error(a, a + 100) >= 0.0);
         }
     }
 
     #[test]
-    #[should_panic(expected = "contiguous")]
     fn gap_in_chunks_rejected() {
-        let _ = ChunkPrefix::new(&[
+        let got = ChunkPrefix::new(&[
             Chunk {
                 start: 0,
                 end: 4,
@@ -231,22 +277,61 @@ mod tests {
                 value: 1.0,
             },
         ]);
+        assert!(matches!(
+            got,
+            Err(FragmentError::Discontiguous {
+                expected: 4,
+                got: 5
+            })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "start at tuple 0")]
     fn offset_chunks_rejected() {
-        let _ = ChunkPrefix::new(&[Chunk {
+        let got = ChunkPrefix::new(&[Chunk {
             start: 1,
             end: 4,
             value: 1.0,
         }]);
+        assert!(matches!(got, Err(FragmentError::NotAtZero { start: 1 })));
     }
 
     #[test]
-    #[should_panic(expected = "empty fragment")]
+    fn no_chunks_rejected() {
+        assert!(matches!(
+            ChunkPrefix::new(&[]),
+            Err(FragmentError::NoChunks)
+        ));
+    }
+
+    #[test]
+    fn empty_chunk_rejected() {
+        let got = ChunkPrefix::new(&[Chunk {
+            start: 0,
+            end: 0,
+            value: 1.0,
+        }]);
+        assert!(matches!(
+            got,
+            Err(FragmentError::EmptyChunk { start: 0, end: 0 })
+        ));
+    }
+
+    #[test]
     fn empty_error_range_rejected() {
-        let p = ChunkPrefix::new(&chunks());
-        let _ = p.error(5, 5);
+        let p = ChunkPrefix::new(&chunks()).unwrap();
+        assert_eq!(
+            p.try_error(5, 5),
+            Err(FragmentError::EmptyRange { start: 5, end: 5 })
+        );
+        assert_eq!(
+            p.try_error(5, 13),
+            Err(FragmentError::RangeBeyondTable {
+                start: 5,
+                end: 13,
+                table_len: 12
+            })
+        );
+        assert_close(p.try_error(2, 6).unwrap(), p.error(2, 6));
     }
 }

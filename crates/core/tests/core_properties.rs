@@ -68,7 +68,7 @@ proptest! {
     /// tuple by tuple.
     #[test]
     fn error_matches_direct_variance(chunks in arb_chunks()) {
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let table = prefix.table_len();
         // Expand V(x) per tuple (tables here are tiny).
         let mut v = Vec::with_capacity(nashdb_core::num::usize_from(table));
@@ -97,12 +97,12 @@ proptest! {
     /// chunk-boundary-restricted split the production code uses.
     #[test]
     fn findsplit_equals_boundary_search(chunks in arb_chunks()) {
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let table = prefix.table_len();
         if table < 2 {
             return Ok(());
         }
-        let literal = find_split(&chunks, 0, table).expect("table >= 2");
+        let literal = find_split(&chunks, 0, table).unwrap().expect("table >= 2");
         let boundary = chunks[..chunks.len().saturating_sub(1)]
             .iter()
             .map(|c| prefix.error(0, c.end) + prefix.error(c.end, table))
@@ -194,8 +194,8 @@ mod audit_props {
         chunks: &[Chunk],
         k: usize,
     ) -> Result<ClusterScheme, nashdb_core::replication::PackError> {
-        let frag = optimal_fragmentation(chunks, k);
-        let stats = fragment_stats(&frag, chunks);
+        let frag = optimal_fragmentation(chunks, k).unwrap();
+        let stats = fragment_stats(&frag, chunks).unwrap();
         let policy = ReplicationPolicy::new(50, NodeSpec::new(1_000.0, frag.table_len()));
         ClusterScheme::build(&stats, policy)
     }
@@ -232,7 +232,7 @@ mod audit_props {
         /// re-runs the DP against it.
         #[test]
         fn fragmentation_audit_accepts_optimal(chunks in arb_chunks(), k in 1usize..6) {
-            let frag = optimal_fragmentation(&chunks, k);
+            let frag = optimal_fragmentation(&chunks, k).unwrap();
             prop_assert!(audit_fragmentation(&frag, &chunks, k).is_ok());
         }
 

@@ -1,0 +1,612 @@
+//! A minimal owned AST for the semantic rules.
+//!
+//! The token-stream rules (`crate::rules`) stay heuristic; the semantic
+//! rules (`crate::taint`, expression-level arithmetic, error-drop) need
+//! structure a flat scan cannot give: which function a statement belongs
+//! to, what a method call's receiver is, and what a loop body contains.
+//! This AST captures exactly that — items, signatures, blocks, and
+//! expressions — and deliberately nothing more (no spans beyond lines, no
+//! generics model, no trait resolution). Anything the parser cannot shape
+//! collapses into [`Expr::Other`]; rules treat `Other` as opaque, so a
+//! parse weakness can only lose findings, never invent them.
+
+/// A parsed source file: its top-level items in order.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+/// One item with the attribute facts rules care about.
+#[derive(Debug)]
+pub struct Item {
+    /// 1-based line of the item's first token (attributes included).
+    pub line: usize,
+    /// Carried a `#[cfg(test)]`/`#[cfg(all(test, …))]` attribute.
+    pub cfg_test: bool,
+    /// Carried `#[must_use]`.
+    pub must_use: bool,
+    /// Carried `#[test]`.
+    pub is_test: bool,
+    /// What the item is.
+    pub kind: ItemKind,
+}
+
+/// Item shapes the rules distinguish.
+// Variant fields are named to be self-documenting; per-field doc comments
+// would only restate the names.
+#[allow(missing_docs)]
+#[derive(Debug)]
+pub enum ItemKind {
+    /// A free function or method.
+    Fn(FnDef),
+    /// `impl [Trait for] Ty { … }` — `ty` is the implementing type's name.
+    Impl { ty: String, items: Vec<Item> },
+    /// An inline `mod name { … }`.
+    Mod { name: String, items: Vec<Item> },
+    /// `struct Name { field: Ty, … }`; tuple/unit structs have no fields.
+    Struct {
+        name: String,
+        fields: Vec<(String, Type)>,
+    },
+    /// Anything else (`use`, `enum`, `trait`, `const`, …), by keyword.
+    Other { keyword: String },
+}
+
+/// A function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `(binding name, declared type)` per non-self parameter. Patterns
+    /// that bind several names keep the first.
+    pub params: Vec<(String, Type)>,
+    /// Takes `self` in any form.
+    pub has_self: bool,
+    /// Declared return type, if any.
+    pub ret: Option<Type>,
+    /// Body; `None` for trait-method declarations.
+    pub body: Option<Block>,
+}
+
+/// A type as the token texts it was written with (`Vec`, `<`, `u64`, `>`).
+/// Enough for name-mention queries; no structure is kept.
+#[derive(Debug, Clone, Default)]
+pub struct Type {
+    /// Token texts in source order.
+    pub toks: Vec<String>,
+}
+
+/// Primitive integer type names (for `unchecked-arith-expr`).
+pub const INTEGER_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+impl Type {
+    /// True iff `name` appears anywhere in the type tokens.
+    pub fn mentions(&self, name: &str) -> bool {
+        self.toks.iter().any(|t| t == name)
+    }
+
+    /// The head identifier after references/qualifiers: `&mut Vec<u8>` →
+    /// `Vec`, `HashMap<K, V>` → `HashMap`.
+    pub fn head(&self) -> Option<&str> {
+        self.toks
+            .iter()
+            .find(|t| {
+                t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && t != &"mut"
+            })
+            .map(String::as_str)
+    }
+
+    /// True iff the head is a primitive integer type.
+    pub fn is_integer(&self) -> bool {
+        self.head().is_some_and(|h| INTEGER_TYPES.contains(&h))
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.toks.join(" "))
+    }
+}
+
+/// A `{ … }` block.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// 1-based line of the opening brace.
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Debug)]
+// Variant fields are named to be self-documenting; per-field doc comments
+// would only restate the names.
+#[allow(missing_docs)]
+pub enum Stmt {
+    /// `let pat[: ty] [= init];`
+    Let {
+        /// First bound name, if the pattern binds one (`let (a, b)` keeps
+        /// `a`; `let _` keeps none).
+        name: Option<String>,
+        /// The pattern is exactly `_`.
+        wildcard: bool,
+        /// Declared type annotation.
+        ty: Option<Type>,
+        /// Initializer.
+        init: Option<Expr>,
+        /// 1-based line of `let`.
+        line: usize,
+    },
+    /// An expression statement.
+    Expr {
+        expr: Expr,
+        line: usize,
+        /// Had a trailing `;` (false for a block's tail expression).
+        semi: bool,
+    },
+    /// A nested item (fns, consts, … declared inside a block).
+    Item(Item),
+}
+
+/// An expression. Lines are on every variant so findings can anchor.
+// Variant fields are named to be self-documenting; per-field doc comments
+// would only restate the names.
+#[allow(missing_docs)]
+#[derive(Debug)]
+pub enum Expr {
+    /// A possibly-qualified path: `x`, `self.f` is *not* a path (that is
+    /// [`Expr::Field`]), `std::thread::spawn` is `["std","thread","spawn"]`.
+    Path { segs: Vec<String>, line: usize },
+    /// Literal (number/string/char), text kept verbatim.
+    Lit { text: String, line: usize },
+    /// `callee(args…)`.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        line: usize,
+    },
+    /// `recv.name::<turbofish…>(args…)`.
+    MethodCall {
+        recv: Box<Expr>,
+        name: String,
+        /// Identifiers from the turbofish, if any (`collect::<BTreeMap<_,_>>`
+        /// keeps `BTreeMap`).
+        turbofish: Vec<String>,
+        args: Vec<Expr>,
+        line: usize,
+    },
+    /// `base.name` / `base.0`.
+    Field {
+        base: Box<Expr>,
+        name: String,
+        line: usize,
+    },
+    /// `base[index]`.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        line: usize,
+    },
+    /// Prefix/postfix unary: `-`, `!`, `*`, `&`, `?`, `return`, `break`.
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+        line: usize,
+    },
+    /// `lhs op rhs` for non-assignment binary operators (including ranges).
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: usize,
+    },
+    /// `target op value` for `=`, `+=`, `-=`, `*=`, `/=`, `%=`.
+    Assign {
+        op: String,
+        target: Box<Expr>,
+        value: Box<Expr>,
+        line: usize,
+    },
+    /// `expr as ty`.
+    Cast {
+        expr: Box<Expr>,
+        ty: Type,
+        line: usize,
+    },
+    /// `if cond { then } [else …]`; `if let Pat = scrutinee` keeps the
+    /// scrutinee as `cond`.
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+        line: usize,
+    },
+    /// `while cond { body }` (`while let` keeps the scrutinee as `cond`).
+    While {
+        cond: Box<Expr>,
+        body: Block,
+        line: usize,
+    },
+    /// `for pat in iter { body }`.
+    ForLoop {
+        /// Identifiers bound by the pattern.
+        pat: Vec<String>,
+        iter: Box<Expr>,
+        body: Block,
+        line: usize,
+    },
+    /// `loop { body }`.
+    Loop { body: Block, line: usize },
+    /// `match scrutinee { arms… }`; each arm keeps its body expression.
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Expr>,
+        line: usize,
+    },
+    /// A block in expression position (incl. `unsafe { … }`).
+    BlockExpr(Block),
+    /// `|args| body` / `move |args| body`.
+    Closure { body: Box<Expr>, line: usize },
+    /// `name!(…)`; the body is kept only as identifier evidence.
+    MacroCall {
+        name: String,
+        line: usize,
+        /// `(ident, line)` for identifiers directly followed by `(` inside
+        /// the macro body — potential calls.
+        inner_calls: Vec<(String, usize)>,
+        /// Every identifier inside the macro body.
+        inner_idents: Vec<String>,
+    },
+    /// Tuple/array/paren-group in expression position.
+    Seq { exprs: Vec<Expr>, line: usize },
+    /// `Path { field: …, … }` struct literal; field initializers kept.
+    StructLit {
+        segs: Vec<String>,
+        fields: Vec<Expr>,
+        line: usize,
+    },
+    /// Anything the parser could not shape.
+    Other { line: usize },
+}
+
+impl Expr {
+    /// The expression's anchor line.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::If { line, .. }
+            | Expr::While { line, .. }
+            | Expr::ForLoop { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::MacroCall { line, .. }
+            | Expr::Seq { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::Other { line } => *line,
+            Expr::BlockExpr(b) => b.line,
+        }
+    }
+
+    /// Pre-order walk over this expression and every sub-expression,
+    /// including those inside nested blocks.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Call { callee, args, .. } => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Field { base, .. } => base.walk(f),
+            Expr::Index { base, index, .. } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::Unary { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::Closure { body: expr, .. } => {
+                expr.walk(f);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Assign { target, value, .. } => {
+                target.walk(f);
+                value.walk(f);
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                cond.walk(f);
+                then.walk_exprs(f);
+                if let Some(e) = els {
+                    e.walk(f);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                cond.walk(f);
+                body.walk_exprs(f);
+            }
+            Expr::ForLoop { iter, body, .. } => {
+                iter.walk(f);
+                body.walk_exprs(f);
+            }
+            Expr::Loop { body, .. } => body.walk_exprs(f),
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.walk(f);
+                for a in arms {
+                    a.walk(f);
+                }
+            }
+            Expr::BlockExpr(b) => b.walk_exprs(f),
+            Expr::Seq { exprs, .. } | Expr::StructLit { fields: exprs, .. } => {
+                for e in exprs {
+                    e.walk(f);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Other { .. } => {}
+        }
+    }
+
+    /// Pre-order walk that stops at block boundaries: sub-expressions of
+    /// this statement's own expression tree are visited (including closure
+    /// bodies and non-block match arms), but statements inside nested `{}`
+    /// blocks are not — they belong to their own statement contexts.
+    pub fn shallow_walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Call { callee, args, .. } => {
+                callee.shallow_walk(f);
+                for a in args {
+                    a.shallow_walk(f);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.shallow_walk(f);
+                for a in args {
+                    a.shallow_walk(f);
+                }
+            }
+            Expr::Field { base, .. } => base.shallow_walk(f),
+            Expr::Index { base, index, .. } => {
+                base.shallow_walk(f);
+                index.shallow_walk(f);
+            }
+            Expr::Unary { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::Closure { body: expr, .. } => expr.shallow_walk(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.shallow_walk(f);
+                rhs.shallow_walk(f);
+            }
+            Expr::Assign { target, value, .. } => {
+                target.shallow_walk(f);
+                value.shallow_walk(f);
+            }
+            Expr::If { cond, els, .. } => {
+                cond.shallow_walk(f);
+                if let Some(e) = els {
+                    e.shallow_walk(f);
+                }
+            }
+            Expr::While { cond, .. } => cond.shallow_walk(f),
+            Expr::ForLoop { iter, .. } => iter.shallow_walk(f),
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.shallow_walk(f);
+                for a in arms {
+                    a.shallow_walk(f);
+                }
+            }
+            Expr::Seq { exprs, .. } | Expr::StructLit { fields: exprs, .. } => {
+                for e in exprs {
+                    e.shallow_walk(f);
+                }
+            }
+            Expr::Loop { .. }
+            | Expr::BlockExpr(_)
+            | Expr::Path { .. }
+            | Expr::Lit { .. }
+            | Expr::MacroCall { .. }
+            | Expr::Other { .. } => {}
+        }
+    }
+
+    /// Yields every block directly nested in this expression tree without
+    /// descending *into* the yielded blocks (their interiors are reached by
+    /// recursing via [`Block::for_each_stmt`]).
+    pub fn nested_blocks<'a>(&'a self, f: &mut impl FnMut(&'a Block)) {
+        match self {
+            Expr::Call { callee, args, .. } => {
+                callee.nested_blocks(f);
+                for a in args {
+                    a.nested_blocks(f);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.nested_blocks(f);
+                for a in args {
+                    a.nested_blocks(f);
+                }
+            }
+            Expr::Field { base, .. } => base.nested_blocks(f),
+            Expr::Index { base, index, .. } => {
+                base.nested_blocks(f);
+                index.nested_blocks(f);
+            }
+            Expr::Unary { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::Closure { body: expr, .. } => expr.nested_blocks(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.nested_blocks(f);
+                rhs.nested_blocks(f);
+            }
+            Expr::Assign { target, value, .. } => {
+                target.nested_blocks(f);
+                value.nested_blocks(f);
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                cond.nested_blocks(f);
+                f(then);
+                if let Some(e) = els {
+                    e.nested_blocks(f);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                cond.nested_blocks(f);
+                f(body);
+            }
+            Expr::ForLoop { iter, body, .. } => {
+                iter.nested_blocks(f);
+                f(body);
+            }
+            Expr::Loop { body, .. } => f(body),
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.nested_blocks(f);
+                for a in arms {
+                    a.nested_blocks(f);
+                }
+            }
+            Expr::BlockExpr(b) => f(b),
+            Expr::Seq { exprs, .. } | Expr::StructLit { fields: exprs, .. } => {
+                for e in exprs {
+                    e.nested_blocks(f);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Other { .. } => {}
+        }
+    }
+}
+
+impl Block {
+    /// Pre-order walk over every expression in the block (and nested
+    /// blocks), skipping nested *items* — a nested fn is its own scope.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        for s in &self.stmts {
+            match s {
+                Stmt::Let { init, .. } => {
+                    if let Some(e) = init {
+                        e.walk(f);
+                    }
+                }
+                Stmt::Expr { expr, .. } => expr.walk(f),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    /// Visits every statement in this block and in blocks nested inside
+    /// its expressions (loop/if/match bodies), depth-first. Each statement
+    /// is visited exactly once, under the block it syntactically sits in —
+    /// the granularity the statement-level sanitizer check needs.
+    pub fn for_each_stmt<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        for s in &self.stmts {
+            f(s);
+            let mut recurse = |e: &'a Expr| {
+                e.nested_blocks(&mut |b| b.for_each_stmt(f));
+            };
+            match s {
+                Stmt::Let { init: Some(e), .. } => recurse(e),
+                Stmt::Expr { expr, .. } => recurse(expr),
+                Stmt::Let { init: None, .. } | Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+/// A function found by [`Ast::fns`], with its context.
+#[derive(Debug)]
+pub struct FnRef<'a> {
+    /// The definition.
+    pub def: &'a FnDef,
+    /// Enclosing `impl` type name, if the fn is a method.
+    pub impl_ty: Option<&'a str>,
+    /// True when the fn (or an enclosing item) is test-gated.
+    pub cfg_test: bool,
+    /// True for `#[test]` fns.
+    pub is_test: bool,
+}
+
+impl Ast {
+    /// Every fn in the file (top-level, in impls, in inline modules), with
+    /// its impl/test context flattened.
+    pub fn fns(&self) -> Vec<FnRef<'_>> {
+        let mut out = Vec::new();
+        collect_fns(&self.items, None, false, &mut out);
+        out
+    }
+}
+
+fn collect_fns<'a>(
+    items: &'a [Item],
+    impl_ty: Option<&'a str>,
+    in_test: bool,
+    out: &mut Vec<FnRef<'a>>,
+) {
+    for item in items {
+        let test_ctx = in_test || item.cfg_test;
+        match &item.kind {
+            ItemKind::Fn(def) => {
+                out.push(FnRef {
+                    def,
+                    impl_ty,
+                    cfg_test: test_ctx,
+                    is_test: item.is_test,
+                });
+                // Nested fns inside the body.
+                if let Some(body) = &def.body {
+                    collect_fns_in_block(body, impl_ty, test_ctx, out);
+                }
+            }
+            ItemKind::Impl { ty, items } => collect_fns(items, Some(ty), test_ctx, out),
+            ItemKind::Mod { items, .. } => collect_fns(items, None, test_ctx, out),
+            ItemKind::Struct { .. } | ItemKind::Other { .. } => {}
+        }
+    }
+}
+
+fn collect_fns_in_block<'a>(
+    block: &'a Block,
+    impl_ty: Option<&'a str>,
+    in_test: bool,
+    out: &mut Vec<FnRef<'a>>,
+) {
+    for s in &block.stmts {
+        if let Stmt::Item(item) = s {
+            collect_fns(std::slice::from_ref(item), impl_ty, in_test, out);
+        }
+    }
+}

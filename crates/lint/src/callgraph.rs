@@ -1,0 +1,335 @@
+//! A workspace-wide function table with conservative call resolution.
+//!
+//! The semantic rules need to know, for an `ident(…)` or `.method(…)` site,
+//! *which workspace function* that is — to read its return type (receiver
+//! typing through getters), its `#[must_use]`/`Result` contract
+//! (`error-drop`), and to propagate determinism taint caller-ward.
+//!
+//! Resolution is deliberately **precision over recall**: a call that cannot
+//! be pinned to exactly one candidate resolves to `None` and simply grows
+//! no edge. The failure mode is a lost finding, never a false one.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Ast, FnDef, Type};
+use crate::source::SourceFile;
+
+/// One function in the workspace table.
+#[derive(Debug)]
+pub struct FnNode<'a> {
+    /// Index into the file list the table was built from.
+    pub file: usize,
+    /// The definition (signature + body).
+    pub def: &'a FnDef,
+    /// Enclosing `impl` type, when a method/associated fn.
+    pub impl_ty: Option<&'a str>,
+    /// Test-gated (`#[cfg(test)]` context or `#[test]`).
+    pub in_test: bool,
+    /// Carried `#[must_use]`.
+    pub must_use: bool,
+}
+
+impl FnNode<'_> {
+    /// True when the declared return type is `Result<…>`.
+    pub fn returns_result(&self) -> bool {
+        self.def
+            .ret
+            .as_ref()
+            .is_some_and(|t| t.head() == Some("Result"))
+    }
+}
+
+/// The cross-file signature table.
+pub struct Workspace<'a> {
+    /// The parsed files the indices below refer to.
+    pub files: &'a [(SourceFile, Ast)],
+    /// All functions, in file order.
+    pub fns: Vec<FnNode<'a>>,
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    /// `(struct name, field name)` → declared type.
+    fields: BTreeMap<(&'a str, &'a str), &'a Type>,
+}
+
+impl std::fmt::Debug for Workspace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("files", &self.files.len())
+            .field("fns", &self.fns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the table over every parsed file.
+    pub fn build(files: &'a [(SourceFile, Ast)]) -> Workspace<'a> {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<&'a str, Vec<usize>> = BTreeMap::new();
+        let mut fields = BTreeMap::new();
+        for (file_idx, (_, ast)) in files.iter().enumerate() {
+            for fr in ast.fns() {
+                let idx = fns.len();
+                fns.push(FnNode {
+                    file: file_idx,
+                    def: fr.def,
+                    impl_ty: fr.impl_ty,
+                    in_test: fr.cfg_test || fr.is_test,
+                    must_use: false, // patched below via the item walk
+                });
+                by_name.entry(fr.def.name.as_str()).or_default().push(idx);
+            }
+            collect_fields(&ast.items, &mut fields);
+            // `must_use` lives on the Item, which `Ast::fns` flattens away;
+            // recover it by line match (fn lines are unique within a file).
+            let mut must_use_lines = Vec::new();
+            collect_must_use(&ast.items, &mut must_use_lines);
+            for f in fns.iter_mut().filter(|f| f.file == file_idx) {
+                if must_use_lines.contains(&f.def.line) {
+                    f.must_use = true;
+                }
+            }
+        }
+        Workspace {
+            files,
+            fns,
+            by_name,
+            fields,
+        }
+    }
+
+    /// The crate directory name a function lives in.
+    pub fn crate_of(&self, fn_idx: usize) -> &str {
+        &self.files[self.fns[fn_idx].file].0.crate_name
+    }
+
+    /// The workspace-relative path a function lives in.
+    pub fn path_of(&self, fn_idx: usize) -> &str {
+        &self.files[self.fns[fn_idx].file].0.path
+    }
+
+    /// Declared type of `struct_ty.field`, if the struct is in-workspace.
+    pub fn field_type(&self, struct_ty: &str, field: &str) -> Option<&'a Type> {
+        self.fields.get(&(struct_ty, field)).copied()
+    }
+
+    /// Resolves a free/associated call path (`helper`, `module::helper`,
+    /// `Type::new`, `Self::go`, `nashdb_core::fragment::find_split`) from
+    /// the context of `from`. Returns the unique candidate or `None`.
+    pub fn resolve_call(&self, segs: &[String], from: usize) -> Option<usize> {
+        let name = segs.last()?;
+        let all = self.by_name.get(name.as_str())?;
+        let qualifier = segs.len().checked_sub(2).map(|i| segs[i].as_str());
+        let caller = &self.fns[from];
+        let candidates: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let cand = &self.fns[i];
+                match qualifier {
+                    // `Self::new()` — same impl as the caller.
+                    Some("Self") => cand.impl_ty == caller.impl_ty,
+                    // `self::f()` / `crate::m::f()` — same crate.
+                    Some("self") | Some("crate") => self.crate_of(i) == self.crate_of(from),
+                    Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                        // `Type::assoc()`.
+                        cand.impl_ty == Some(q)
+                    }
+                    Some(q) => {
+                        // Module or crate path segment: `nashdb_core::…` /
+                        // `fragment::find_split`. Match the crate name (with
+                        // the `nashdb_`/`nashdb-` prefix stripped) or a path
+                        // component.
+                        let hint = q.strip_prefix("nashdb_").unwrap_or(q);
+                        let path = self.path_of(i);
+                        self.crate_of(i) == hint
+                            || path.contains(&format!("/{q}/"))
+                            || path.ends_with(&format!("/{q}.rs"))
+                            || path.contains(&format!("/{q}/mod.rs"))
+                    }
+                    // Unqualified: free fns only.
+                    None => cand.impl_ty.is_none(),
+                }
+            })
+            .collect();
+        self.pick(&candidates, from)
+    }
+
+    /// Resolves a `.name(…)` method call given the receiver's type head
+    /// (when known). Returns the unique candidate or `None`.
+    pub fn resolve_method(&self, name: &str, recv_ty: Option<&str>, from: usize) -> Option<usize> {
+        let all = self.by_name.get(name)?;
+        let methods: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].def.has_self)
+            .collect();
+        if let Some(ty) = recv_ty {
+            let typed: Vec<usize> = methods
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].impl_ty == Some(ty))
+                .collect();
+            return self.pick(&typed, from);
+        }
+        // Untyped receiver: only a workspace-unique method name resolves.
+        if methods.len() == 1 {
+            Some(methods[0])
+        } else {
+            None
+        }
+    }
+
+    /// Uniqueness with locality tie-breaks: one candidate in the caller's
+    /// file wins, else one in the caller's crate, else one overall.
+    fn pick(&self, candidates: &[usize], from: usize) -> Option<usize> {
+        match candidates {
+            [] => None,
+            [one] => Some(*one),
+            many => {
+                let same_file: Vec<usize> = many
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].file == self.fns[from].file)
+                    .collect();
+                if let [one] = same_file[..] {
+                    return Some(one);
+                }
+                let same_crate: Vec<usize> = many
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.crate_of(i) == self.crate_of(from))
+                    .collect();
+                if let [one] = same_crate[..] {
+                    return Some(one);
+                }
+                None
+            }
+        }
+    }
+}
+
+fn collect_fields<'a>(
+    items: &'a [crate::ast::Item],
+    out: &mut BTreeMap<(&'a str, &'a str), &'a Type>,
+) {
+    use crate::ast::ItemKind;
+    for item in items {
+        match &item.kind {
+            ItemKind::Struct { name, fields } => {
+                for (fname, ty) in fields {
+                    out.insert((name.as_str(), fname.as_str()), ty);
+                }
+            }
+            ItemKind::Mod { items, .. } | ItemKind::Impl { items, .. } => {
+                collect_fields(items, out);
+            }
+            ItemKind::Fn(_) | ItemKind::Other { .. } => {}
+        }
+    }
+}
+
+fn collect_must_use(items: &[crate::ast::Item], out: &mut Vec<usize>) {
+    use crate::ast::ItemKind;
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(def) => {
+                if item.must_use {
+                    out.push(def.line);
+                }
+            }
+            ItemKind::Mod { items, .. } | ItemKind::Impl { items, .. } => {
+                collect_must_use(items, out);
+            }
+            ItemKind::Struct { .. } | ItemKind::Other { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<(SourceFile, Ast)> {
+        srcs.iter()
+            .map(|(path, src)| {
+                let sf = SourceFile::new(path, src);
+                let ast = parse(&sf.lexed);
+                (sf, ast)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resolves_free_method_and_cross_crate_calls() {
+        let fs = files(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn helper() -> u64 { 1 }\n\
+                 pub struct Foo { map: u64 }\n\
+                 impl Foo {\n\
+                     pub fn map(&self) -> u64 { self.map }\n\
+                     pub fn run(&self) -> u64 { helper() + self.map() }\n\
+                 }\n",
+            ),
+            (
+                "crates/baselines/src/b.rs",
+                "pub fn entry() -> u64 { nashdb_core::a::helper() }\n",
+            ),
+        ]);
+        let ws = Workspace::build(&fs);
+        assert_eq!(ws.fns.len(), 4);
+        let run = ws
+            .fns
+            .iter()
+            .position(|f| f.def.name == "run")
+            .expect("run exists");
+        let entry = ws
+            .fns
+            .iter()
+            .position(|f| f.def.name == "entry")
+            .expect("entry exists");
+        // Unqualified free call from a method.
+        let helper = ws.resolve_call(&["helper".into()], run).expect("helper");
+        assert_eq!(ws.fns[helper].def.name, "helper");
+        // Method on a known receiver type.
+        let m = ws.resolve_method("map", Some("Foo"), run).expect("method");
+        assert!(ws.fns[m].def.has_self);
+        // Cross-crate path with the nashdb_ prefix.
+        let cross = ws
+            .resolve_call(&["nashdb_core".into(), "a".into(), "helper".into()], entry)
+            .expect("cross-crate");
+        assert_eq!(cross, helper);
+        // Field types survive.
+        assert!(ws.field_type("Foo", "map").is_some());
+        assert!(ws.field_type("Foo", "nope").is_none());
+    }
+
+    #[test]
+    fn ambiguity_resolves_to_none() {
+        let fs = files(&[
+            ("crates/core/src/a.rs", "pub fn f() {}\n"),
+            ("crates/sim/src/b.rs", "pub fn f() {}\n"),
+            ("crates/cluster/src/c.rs", "pub fn caller() { f(); }\n"),
+        ]);
+        let ws = Workspace::build(&fs);
+        let caller = ws
+            .fns
+            .iter()
+            .position(|f| f.def.name == "caller")
+            .expect("caller exists");
+        assert_eq!(ws.resolve_call(&["f".into()], caller), None);
+    }
+
+    #[test]
+    fn must_use_and_result_facts() {
+        let fs = files(&[(
+            "crates/core/src/a.rs",
+            "#[must_use]\npub fn important() -> u64 { 1 }\n\
+             pub fn fallible() -> Result<u64, String> { Ok(1) }\n",
+        )]);
+        let ws = Workspace::build(&fs);
+        assert!(ws.fns[0].must_use);
+        assert!(!ws.fns[0].returns_result());
+        assert!(ws.fns[1].returns_result());
+    }
+}

@@ -25,7 +25,7 @@ pub enum TokenKind {
     Number,
     /// Punctuation. Multi-character operators that rules care about are
     /// fused (`::`, `->`, `=>`, `==`, `!=`, `<=`, `>=`, `+=`, `-=`, `*=`,
-    /// `/=`, `%=`, `&&`, `||`, `..`); everything else is one char.
+    /// `/=`, `%=`, `&&`, `||`, `..`, `..=`); everything else is one char.
     Punct,
 }
 
@@ -74,7 +74,7 @@ pub struct Lexed {
 
 /// Operators fused into one token, longest first so maximal munch works.
 const FUSED: &[&str] = &[
-    "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&&", "||", "..",
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&&", "||", "..",
 ];
 
 struct Scanner<'a> {

@@ -1,11 +1,12 @@
 //! `nashdb-lint` — the CI entry point.
 //!
 //! ```text
-//! nashdb-lint --workspace [--root DIR] [--baseline lint-baseline.json]
+//! nashdb-lint --workspace [--root DIR] [--baseline lint-baseline.json] [--strict-baseline]
 //! nashdb-lint --workspace --write-baseline lint-baseline.json
 //! ```
 //!
-//! Exit codes: 0 clean (modulo baseline), 1 findings, 2 usage/IO error.
+//! Exit codes: 0 clean (modulo baseline), 1 findings (or stale baseline
+//! under `--strict-baseline`), 2 usage/IO error.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -15,6 +16,14 @@ use nashdb_lint::{lint_workspace, Baseline, RULE_IDS};
 const HELP: &str = "\
 nashdb-lint — workspace determinism & safety linter
 
+Token rules (per file) plus semantic rules over a workspace-wide AST and
+call graph: `determinism-taint` follows hash-iteration/time/randomness
+through helper calls into the deterministic crates, `unchecked-arith-expr`
+flags data-dependent integer accumulation in loops, and `error-drop`
+catches `let _ =` discarding a workspace `Result`. `unchecked-arith` is a
+deprecated alias for `unchecked-arith-expr`; old escapes and baseline
+entries keep working.
+
 USAGE:
   nashdb-lint --workspace [OPTIONS]
 
@@ -22,6 +31,9 @@ OPTIONS:
   --root DIR             workspace root (default: current directory)
   --baseline FILE        ratchet file of accepted legacy findings; the run
                          fails only on findings beyond the recorded counts
+  --strict-baseline      also fail (exit 1) when the baseline is stale:
+                         an entry allows more findings than remain, or
+                         names a file that no longer exists
   --write-baseline FILE  write the current findings as the new baseline
                          and exit 0
   --list-rules           print the rule ids and exit
@@ -69,6 +81,7 @@ fn main() {
         return;
     }
     let workspace = take_flag(&mut args, "--workspace");
+    let strict_baseline = take_flag(&mut args, "--strict-baseline");
     let root = take_value(&mut args, "--root").map_or_else(|| PathBuf::from("."), PathBuf::from);
     let baseline_path = take_value(&mut args, "--baseline");
     let write_baseline = take_value(&mut args, "--write-baseline");
@@ -115,11 +128,27 @@ fn main() {
     };
 
     let outcome = baseline.check(&findings);
+    let level = if strict_baseline { "error" } else { "note" };
     for (rule, file, allowed, actual) in &outcome.stale {
+        if !root.join(file).is_file() {
+            eprintln!(
+                "{level}: stale baseline entry: {file} [{rule}] allows {allowed} finding(s) \
+                 but the file no longer exists — regenerate with --write-baseline"
+            );
+        } else {
+            eprintln!(
+                "{level}: stale baseline entry: {file} [{rule}] allows {allowed} but only \
+                 {actual} remain — regenerate with --write-baseline to ratchet down"
+            );
+        }
+    }
+    if strict_baseline && !outcome.stale.is_empty() && outcome.over.is_empty() {
         eprintln!(
-            "note: stale baseline entry: {file} [{rule}] allows {allowed} but only {actual} \
-             remain — regenerate with --write-baseline to ratchet down"
+            "\nlint FAILED: --strict-baseline and {} stale baseline entr(y/ies); the ratchet \
+             must be regenerated so fixed debt cannot silently return.",
+            outcome.stale.len()
         );
+        exit(1)
     }
     if outcome.over.is_empty() {
         eprintln!(

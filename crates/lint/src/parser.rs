@@ -1,0 +1,1601 @@
+//! Recursive-descent parser from the token stream to the [`crate::ast`]
+//! types: a Pratt expression parser plus item/statement structure.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** Every parse function consumes at least
+//!    one token on any input; anything unrecognizable becomes
+//!    [`Expr::Other`] and the parser resynchronizes at the next statement
+//!    or item boundary.
+//! 2. **Lose findings, never invent them.** Rules treat `Other` as opaque,
+//!    so a construct this parser cannot shape silently degrades to the
+//!    token-stream rules' coverage.
+//! 3. **Dependency-free.** Like the lexer, this is hand-rolled; no syn.
+//!
+//! Known simplifications (acceptable for a linter, not a compiler): shift
+//! operators parse as two comparisons, trait bounds and generic parameter
+//! lists are skipped rather than modeled, and patterns keep only their
+//! bound identifier names.
+
+use crate::ast::{Ast, Block, Expr, FnDef, Item, ItemKind, Stmt, Type};
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Parses a lexed file into an [`Ast`]. Infallible by construction.
+pub fn parse(lexed: &Lexed) -> Ast {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+    };
+    Ast {
+        items: p.items(None),
+    }
+}
+
+/// Item-introducing keywords (after attributes/visibility/modifiers).
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "impl",
+    "mod",
+    "struct",
+    "enum",
+    "trait",
+    "use",
+    "const",
+    "static",
+    "type",
+    "union",
+    "extern",
+    "macro_rules",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Facts gathered from a run of outer attributes.
+#[derive(Default)]
+struct Attrs {
+    cfg_test: bool,
+    must_use: bool,
+    is_test: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn at_punct(&self, text: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(text))
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_ident(text))
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, text: &str) -> bool {
+        if self.at_punct(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, text: &str) -> bool {
+        if self.at_ident(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.peek(0).map_or(usize::MAX, |t| t.line)
+    }
+
+    // -- attributes, visibility, modifiers ---------------------------------
+
+    /// Consumes `#[…]` / `#![…]` runs, recording the facts rules need.
+    fn attrs(&mut self) -> Attrs {
+        let mut out = Attrs::default();
+        while self.at_punct("#") {
+            let hash = self.pos;
+            self.pos += 1;
+            self.eat_punct("!");
+            if !self.eat_punct("[") {
+                self.pos = hash;
+                break;
+            }
+            let mut depth = 1usize;
+            let mut is_cfg = false;
+            let mut saw_test = false;
+            let mut saw_must_use = false;
+            let mut first = true;
+            while depth > 0 {
+                let Some(t) = self.bump() else { break };
+                match t.kind {
+                    TokenKind::Punct if t.text == "[" => depth += 1,
+                    TokenKind::Punct if t.text == "]" => depth -= 1,
+                    TokenKind::Ident => {
+                        if first && t.text == "cfg" {
+                            is_cfg = true;
+                        }
+                        if t.text == "test" {
+                            saw_test = true;
+                        }
+                        if first && t.text == "must_use" {
+                            saw_must_use = true;
+                        }
+                        first = false;
+                    }
+                    _ => {}
+                }
+            }
+            if is_cfg && saw_test {
+                out.cfg_test = true;
+            } else if saw_test {
+                out.is_test = true;
+            }
+            out.must_use |= saw_must_use;
+        }
+        out
+    }
+
+    /// Consumes `pub` / `pub(crate)` / `pub(in path)`.
+    fn visibility(&mut self) {
+        if self.eat_ident("pub") && self.at_punct("(") {
+            self.skip_balanced("(", ")");
+        }
+    }
+
+    /// Consumes fn/impl qualifiers (`const fn`, `async`, `unsafe`,
+    /// `extern "C"`, `default`).
+    fn fn_qualifiers(&mut self) {
+        loop {
+            if (self.at_ident("const") && self.peek(1).is_some_and(|t| t.is_ident("fn")))
+                || self.at_ident("async")
+                || self.at_ident("default")
+                || (self.at_ident("unsafe")
+                    && self.peek(1).is_some_and(|t| {
+                        t.is_ident("fn") || t.is_ident("impl") || t.is_ident("trait")
+                    }))
+            {
+                self.pos += 1;
+            } else if self.at_ident("extern")
+                && self.peek(1).is_some_and(|t| t.kind == TokenKind::Str)
+                && self.peek(2).is_some_and(|t| t.is_ident("fn"))
+            {
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skips from an already-peeked `open` to its matching `close`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        if !self.eat_punct(open) {
+            return;
+        }
+        let mut depth = 1usize;
+        while depth > 0 {
+            let Some(t) = self.bump() else { return };
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+            }
+        }
+    }
+
+    /// Skips a `<…>` generic parameter list if present. `>=` closes an
+    /// angle (the lexer fuses it; the `=` belongs to a const-generic
+    /// default we are skipping anyway).
+    fn skip_generics(&mut self) {
+        if !self.at_punct("<") {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") || t.is_punct(">=") {
+                depth -= 1;
+            } else if t.is_punct("->") && depth == 0 {
+                break;
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+
+    // -- items -------------------------------------------------------------
+
+    /// Parses items until EOF (`terminator` None) or a closing `}`.
+    fn items(&mut self, terminator: Option<&str>) -> Vec<Item> {
+        let mut out = Vec::new();
+        loop {
+            let before = self.pos;
+            if self.peek(0).is_none() {
+                break;
+            }
+            if let Some(close) = terminator {
+                if self.at_punct(close) {
+                    self.pos += 1;
+                    break;
+                }
+            }
+            if self.eat_punct(";") {
+                continue;
+            }
+            if let Some(item) = self.item() {
+                out.push(item);
+            }
+            if self.pos == before {
+                self.pos += 1; // unrecognized token at item position
+            }
+        }
+        out
+    }
+
+    /// Parses one item if the cursor sits on one.
+    fn item(&mut self) -> Option<Item> {
+        let start = self.pos;
+        let line = self.line();
+        let attrs = self.attrs();
+        self.visibility();
+        self.fn_qualifiers();
+        let Some(kw) = self.peek(0).filter(|t| t.kind == TokenKind::Ident) else {
+            self.pos = start.max(self.pos);
+            return None;
+        };
+        let kw_text = kw.text.clone();
+        if !ITEM_KEYWORDS.contains(&kw_text.as_str()) {
+            // Not an item; rewind so expression parsing can have the tokens.
+            self.pos = start;
+            return None;
+        }
+        self.pos += 1;
+        let kind = match kw_text.as_str() {
+            "fn" => ItemKind::Fn(self.fn_def(line)),
+            "impl" => self.impl_block(),
+            "mod" => self.mod_item(),
+            "struct" => self.struct_item(),
+            _ => {
+                self.skip_item_rest();
+                ItemKind::Other { keyword: kw_text }
+            }
+        };
+        Some(Item {
+            line,
+            cfg_test: attrs.cfg_test,
+            must_use: attrs.must_use,
+            is_test: attrs.is_test,
+            kind,
+        })
+    }
+
+    /// Consumes the remainder of an unmodeled item: to the `;` before any
+    /// brace, or through the first balanced `{…}`.
+    fn skip_item_rest(&mut self) {
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            if t.is_punct("{") {
+                self.skip_balanced("{", "}");
+                return;
+            }
+            if t.is_punct("}") {
+                return; // enclosing block's close; leave it
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn fn_def(&mut self, line: usize) -> FnDef {
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.pos += 1;
+        }
+        self.skip_generics();
+        let (params, has_self) = self.fn_params();
+        let ret = if self.eat_punct("->") {
+            Some(self.scan_type(&["{", ";"], &["where"]))
+        } else {
+            None
+        };
+        // where clause
+        if self.at_ident("where") {
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("{") || t.is_punct(";") {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let body = if self.at_punct("{") {
+            Some(self.block())
+        } else {
+            self.eat_punct(";");
+            None
+        };
+        FnDef {
+            name,
+            line,
+            params,
+            has_self,
+            ret,
+            body,
+        }
+    }
+
+    /// Parses `(self?, name: Ty, …)`.
+    fn fn_params(&mut self) -> (Vec<(String, Type)>, bool) {
+        let mut params = Vec::new();
+        let mut has_self = false;
+        if !self.eat_punct("(") {
+            return (params, has_self);
+        }
+        loop {
+            let before = self.pos;
+            match self.peek(0) {
+                None => break,
+                Some(t) if t.is_punct(")") => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            // One parameter: pattern tokens to the top-level `:`, then type
+            // tokens to the top-level `,` or `)`.
+            self.attrs();
+            let mut pat_name: Option<String> = None;
+            let mut saw_colon = false;
+            let mut depth = 0i32;
+            while let Some(t) = self.peek(0) {
+                if depth == 0 && (t.is_punct(",") || t.is_punct(")")) {
+                    break;
+                }
+                match t.text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    ":" if depth == 0 && !saw_colon => {
+                        saw_colon = true;
+                        self.pos += 1;
+                        let ty = self.scan_type(&[",", ")"], &[]);
+                        if let Some(name) = pat_name.take() {
+                            params.push((name, ty));
+                        }
+                        continue;
+                    }
+                    "self" if t.kind == TokenKind::Ident => has_self = true,
+                    _ if t.kind == TokenKind::Ident
+                        && !saw_colon
+                        && pat_name.is_none()
+                        && t.text != "mut"
+                        && t.text != "ref" =>
+                    {
+                        pat_name = Some(t.text.clone());
+                    }
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+            self.eat_punct(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        (params, has_self)
+    }
+
+    /// Collects type tokens until one of `stop_puncts` (or `stop_idents`)
+    /// appears at angle/paren/bracket depth 0. The stop token is left
+    /// unconsumed. `>=` while inside angles closes one level.
+    fn scan_type(&mut self, stop_puncts: &[&str], stop_idents: &[&str]) -> Type {
+        let mut toks = Vec::new();
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if depth == 0 {
+                if t.kind == TokenKind::Punct && stop_puncts.contains(&t.text.as_str()) {
+                    break;
+                }
+                if t.kind == TokenKind::Ident && stop_idents.contains(&t.text.as_str()) {
+                    break;
+                }
+            }
+            match t.text.as_str() {
+                "<" | "(" | "[" if t.kind == TokenKind::Punct => depth += 1,
+                ">" | ")" | "]" if t.kind == TokenKind::Punct => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ">=" if t.kind == TokenKind::Punct => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    toks.push(">".to_owned());
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            toks.push(t.text.clone());
+            self.pos += 1;
+        }
+        Type { toks }
+    }
+
+    fn impl_block(&mut self) -> ItemKind {
+        self.skip_generics();
+        // Tokens to the `{`; the implementing type is after `for` when a
+        // trait impl, otherwise the head of what we scanned.
+        let head = self.scan_type(&["{"], &["where"]);
+        if self.at_ident("where") {
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("{") {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let ty = {
+            let after_for = head
+                .toks
+                .iter()
+                .position(|t| t == "for")
+                .map(|i| &head.toks[i + 1..]);
+            let slice = after_for.unwrap_or(&head.toks[..]);
+            Type {
+                toks: slice.to_vec(),
+            }
+            .head()
+            .unwrap_or("")
+            .to_owned()
+        };
+        if self.eat_punct("{") {
+            ItemKind::Impl {
+                ty,
+                items: self.items(Some("}")),
+            }
+        } else {
+            ItemKind::Impl {
+                ty,
+                items: Vec::new(),
+            }
+        }
+    }
+
+    fn mod_item(&mut self) -> ItemKind {
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.pos += 1;
+        }
+        if self.eat_punct("{") {
+            ItemKind::Mod {
+                name,
+                items: self.items(Some("}")),
+            }
+        } else {
+            self.eat_punct(";");
+            ItemKind::Other {
+                keyword: "mod".to_owned(),
+            }
+        }
+    }
+
+    fn struct_item(&mut self) -> ItemKind {
+        let name = self
+            .peek(0)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.pos += 1;
+        }
+        self.skip_generics();
+        if self.at_ident("where") {
+            while let Some(t) = self.peek(0) {
+                if t.is_punct("{") || t.is_punct(";") || t.is_punct("(") {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let mut fields = Vec::new();
+        if self.eat_punct("{") {
+            loop {
+                let before = self.pos;
+                match self.peek(0) {
+                    None => break,
+                    Some(t) if t.is_punct("}") => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                self.attrs();
+                self.visibility();
+                let fname = self
+                    .peek(0)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone());
+                if fname.is_some() {
+                    self.pos += 1;
+                }
+                if self.eat_punct(":") {
+                    let ty = self.scan_type(&[",", "}"], &[]);
+                    if let Some(fname) = fname {
+                        fields.push((fname, ty));
+                    }
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.pos += 1;
+                }
+            }
+        } else if self.at_punct("(") {
+            self.skip_balanced("(", ")");
+            self.eat_punct(";");
+        } else {
+            self.eat_punct(";");
+        }
+        ItemKind::Struct { name, fields }
+    }
+
+    // -- statements --------------------------------------------------------
+
+    /// Parses a `{ … }` block; the cursor must sit on the `{` (tolerated if
+    /// not: returns an empty block).
+    fn block(&mut self) -> Block {
+        let line = self.line();
+        if !self.eat_punct("{") {
+            return Block {
+                stmts: Vec::new(),
+                line,
+            };
+        }
+        let mut stmts = Vec::new();
+        loop {
+            let before = self.pos;
+            match self.peek(0) {
+                None => break,
+                Some(t) if t.is_punct("}") => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            if self.eat_punct(";") {
+                continue;
+            }
+            if self.at_ident("let") {
+                stmts.push(self.let_stmt());
+            } else if let Some(item) = self.stmt_item() {
+                stmts.push(Stmt::Item(item));
+            } else {
+                let line = self.line();
+                let expr = self.expr(1, false);
+                let semi = self.eat_punct(";");
+                stmts.push(Stmt::Expr { expr, line, semi });
+            }
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        Block { stmts, line }
+    }
+
+    /// Parses an item in statement position, if one starts here.
+    fn stmt_item(&mut self) -> Option<Item> {
+        // Lookahead past attributes/visibility/qualifiers without consuming.
+        let save = self.pos;
+        self.attrs();
+        self.visibility();
+        self.fn_qualifiers();
+        let is_item = self
+            .peek(0)
+            .is_some_and(|t| t.kind == TokenKind::Ident && ITEM_KEYWORDS.contains(&t.text.as_str()))
+            // `const` in expression position never happens, but `extern`,
+            // `union`, and `macro_rules` can shadow as idents; accept the
+            // mis-parse — they are vanishingly rare in statement position.
+            && !self.at_ident("union");
+        self.pos = save;
+        if is_item {
+            self.item()
+        } else {
+            None
+        }
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.pos += 1; // `let`
+                       // Pattern: tokens to the top-level `:`, `=`, `;`, or `else`.
+        let mut pat_toks: Vec<&Token> = Vec::new();
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if depth == 0
+                && (t.is_punct(":") || t.is_punct("=") || t.is_punct(";") || t.is_ident("else"))
+            {
+                break;
+            }
+            match t.text.as_str() {
+                "(" | "[" | "<" | "{" if t.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" | ">" | "}" if t.kind == TokenKind::Punct => depth -= 1,
+                _ => {}
+            }
+            pat_toks.push(t);
+            self.pos += 1;
+        }
+        // `_` lexes as an identifier.
+        let wildcard = pat_toks.len() == 1 && pat_toks[0].is_ident("_");
+        let destructures = pat_toks
+            .iter()
+            .any(|t| t.is_punct("(") || t.is_punct("{") || t.is_punct("::"));
+        let name = if destructures || wildcard {
+            None
+        } else {
+            pat_toks
+                .iter()
+                .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref")
+                .map(|t| t.text.clone())
+        };
+        let ty = if self.eat_punct(":") {
+            Some(self.scan_type(&["=", ";"], &["else"]))
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            Some(self.expr(1, false))
+        } else {
+            None
+        };
+        // let-else diverging tail.
+        if self.eat_ident("else") {
+            let _ = self.block();
+        }
+        self.eat_punct(";");
+        Stmt::Let {
+            name,
+            wildcard,
+            ty,
+            init,
+            line,
+        }
+    }
+
+    // -- expressions -------------------------------------------------------
+
+    /// Pratt parser. `min_bp` is the minimum binding power to continue;
+    /// `no_struct` suppresses struct-literal parsing (condition position).
+    fn expr(&mut self, min_bp: u8, no_struct: bool) -> Expr {
+        let mut lhs = self.prefix(no_struct);
+        lhs = self.postfix(lhs, no_struct);
+        while let Some(t) = self.peek(0).filter(|t| t.kind == TokenKind::Punct) {
+            let (bp, rbp, assign) = match t.text.as_str() {
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" => (2, 1, true),
+                ".." | "..=" => (4, 5, false),
+                "||" => (6, 7, false),
+                "&&" => (8, 9, false),
+                "==" | "!=" | "<" | ">" | "<=" | ">=" => (10, 11, false),
+                "|" => (12, 13, false),
+                "^" => (13, 14, false),
+                "&" => (14, 15, false),
+                "+" | "-" => (16, 17, false),
+                "*" | "/" | "%" => (18, 19, false),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            let op = t.text.clone();
+            let line = t.line;
+            self.pos += 1;
+            // Open ranges (`start..`): no rhs follows.
+            let rhs_starts = self.peek(0).is_some_and(|t| {
+                !(t.is_punct(";")
+                    || t.is_punct(",")
+                    || t.is_punct(")")
+                    || t.is_punct("]")
+                    || t.is_punct("}")
+                    || t.is_punct("{") && no_struct && (op == ".." || op == "..="))
+            });
+            let rhs = if (op == ".." || op == "..=") && !rhs_starts {
+                Expr::Other { line }
+            } else {
+                self.expr(rbp, no_struct)
+            };
+            lhs = if assign {
+                Expr::Assign {
+                    op,
+                    target: Box::new(lhs),
+                    value: Box::new(rhs),
+                    line,
+                }
+            } else {
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                }
+            };
+        }
+        lhs
+    }
+
+    /// Prefix position: literals, paths, unary operators, control flow.
+    /// Always consumes at least one token.
+    fn prefix(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek(0) else {
+            return Expr::Other { line: usize::MAX };
+        };
+        let line = t.line;
+        match t.kind {
+            TokenKind::Number | TokenKind::Str | TokenKind::Char => {
+                let text = t.text.clone();
+                self.pos += 1;
+                Expr::Lit { text, line }
+            }
+            TokenKind::Ident => match t.text.as_str() {
+                "if" => self.if_expr(),
+                "while" => {
+                    self.pos += 1;
+                    let cond = if self.eat_ident("let") {
+                        self.skip_pattern_to_eq();
+                        self.expr(1, true)
+                    } else {
+                        self.expr(1, true)
+                    };
+                    let body = self.block();
+                    Expr::While {
+                        cond: Box::new(cond),
+                        body,
+                        line,
+                    }
+                }
+                "for" => {
+                    self.pos += 1;
+                    let mut pat = Vec::new();
+                    let mut depth = 0i32;
+                    while let Some(t) = self.peek(0) {
+                        if depth == 0 && t.is_ident("in") {
+                            self.pos += 1;
+                            break;
+                        }
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            _ if t.kind == TokenKind::Ident
+                                && t.text != "mut"
+                                && t.text != "ref" =>
+                            {
+                                pat.push(t.text.clone());
+                            }
+                            _ => {}
+                        }
+                        self.pos += 1;
+                    }
+                    let iter = self.expr(1, true);
+                    let body = self.block();
+                    Expr::ForLoop {
+                        pat,
+                        iter: Box::new(iter),
+                        body,
+                        line,
+                    }
+                }
+                "loop" => {
+                    self.pos += 1;
+                    Expr::Loop {
+                        body: self.block(),
+                        line,
+                    }
+                }
+                "match" => self.match_expr(),
+                "unsafe" => {
+                    self.pos += 1;
+                    Expr::BlockExpr(self.block())
+                }
+                "return" | "break" => {
+                    let op = t.text.clone();
+                    self.pos += 1;
+                    let operand = if self.peek(0).is_some_and(|n| {
+                        !(n.is_punct(";")
+                            || n.is_punct("}")
+                            || n.is_punct(")")
+                            || n.is_punct(",")
+                            || n.is_punct("]"))
+                    }) {
+                        self.expr(1, no_struct)
+                    } else {
+                        Expr::Other { line }
+                    };
+                    Expr::Unary {
+                        op,
+                        expr: Box::new(operand),
+                        line,
+                    }
+                }
+                "continue" => {
+                    self.pos += 1;
+                    Expr::Other { line }
+                }
+                "move" => {
+                    self.pos += 1;
+                    self.closure(line)
+                }
+                _ => self.path_expr(no_struct),
+            },
+            TokenKind::Punct => match t.text.as_str() {
+                "-" | "!" | "*" => {
+                    let op = t.text.clone();
+                    self.pos += 1;
+                    let operand = self.prefix(no_struct);
+                    let operand = self.postfix(operand, no_struct);
+                    Expr::Unary {
+                        op,
+                        expr: Box::new(operand),
+                        line,
+                    }
+                }
+                "&" | "&&" => {
+                    // `&&x` is two nested borrows.
+                    let double = t.text == "&&";
+                    self.pos += 1;
+                    self.eat_ident("mut");
+                    let operand = self.prefix(no_struct);
+                    let operand = self.postfix(operand, no_struct);
+                    let inner = Expr::Unary {
+                        op: "&".to_owned(),
+                        expr: Box::new(operand),
+                        line,
+                    };
+                    if double {
+                        Expr::Unary {
+                            op: "&".to_owned(),
+                            expr: Box::new(inner),
+                            line,
+                        }
+                    } else {
+                        inner
+                    }
+                }
+                "|" | "||" => self.closure(line),
+                "{" => Expr::BlockExpr(self.block()),
+                "(" => {
+                    self.pos += 1;
+                    let exprs = self.comma_exprs(")");
+                    Expr::Seq { exprs, line }
+                }
+                "[" => {
+                    self.pos += 1;
+                    let mut exprs = Vec::new();
+                    loop {
+                        let before = self.pos;
+                        match self.peek(0) {
+                            None => break,
+                            Some(t) if t.is_punct("]") => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        exprs.push(self.expr(1, false));
+                        if !(self.eat_punct(",") || self.eat_punct(";")) && self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    Expr::Seq { exprs, line }
+                }
+                ".." | "..=" => {
+                    // RangeTo / RangeFull in prefix position.
+                    self.pos += 1;
+                    let operand = if self.peek(0).is_some_and(|n| {
+                        n.kind != TokenKind::Punct
+                            || n.is_punct("(")
+                            || n.is_punct("-")
+                            || n.is_punct("&")
+                    }) {
+                        self.expr(5, no_struct)
+                    } else {
+                        Expr::Other { line }
+                    };
+                    Expr::Unary {
+                        op: "..".to_owned(),
+                        expr: Box::new(operand),
+                        line,
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                    Expr::Other { line }
+                }
+            },
+        }
+    }
+
+    /// `|args| body` with the leading `|`/`||` (or post-`move`) at cursor.
+    fn closure(&mut self, line: usize) -> Expr {
+        if self.eat_punct("||") {
+            // Zero-parameter closure.
+        } else if self.eat_punct("|") {
+            let mut depth = 0i32;
+            while let Some(t) = self.peek(0) {
+                if depth == 0 && (t.is_punct("|") || t.is_punct("||")) {
+                    // `||` here would be a nested zero-param closure head —
+                    // cannot occur in a parameter list; both close.
+                    self.pos += 1;
+                    break;
+                }
+                match t.text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+        } else {
+            return Expr::Other { line };
+        }
+        if self.eat_punct("->") {
+            let _ = self.scan_type(&["{"], &[]);
+        }
+        let body = self.expr(1, false);
+        Expr::Closure {
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        let line = self.line();
+        self.pos += 1; // `if`
+        let cond = if self.eat_ident("let") {
+            self.skip_pattern_to_eq();
+            self.expr(1, true)
+        } else {
+            self.expr(1, true)
+        };
+        let then = self.block();
+        let els = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.if_expr()))
+            } else {
+                Some(Box::new(Expr::BlockExpr(self.block())))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then,
+            els,
+            line,
+        }
+    }
+
+    /// Skips an `if let`/`while let` pattern through its `=`.
+    fn skip_pattern_to_eq(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if depth == 0 && t.is_punct("=") {
+                self.pos += 1;
+                return;
+            }
+            if depth == 0 && (t.is_punct("{") || t.is_punct(";")) {
+                return; // malformed; resync
+            }
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn match_expr(&mut self) -> Expr {
+        let line = self.line();
+        self.pos += 1; // `match`
+        let scrutinee = self.expr(1, true);
+        let mut arms = Vec::new();
+        if self.eat_punct("{") {
+            loop {
+                let before = self.pos;
+                match self.peek(0) {
+                    None => break,
+                    Some(t) if t.is_punct("}") => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                // Pattern (and optional guard) through `=>` at depth 0.
+                let mut depth = 0i32;
+                let mut found_arrow = false;
+                while let Some(t) = self.peek(0) {
+                    if depth == 0 && t.is_punct("=>") {
+                        self.pos += 1;
+                        found_arrow = true;
+                        break;
+                    }
+                    if depth == 0 && t.is_punct("}") {
+                        break;
+                    }
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                if found_arrow {
+                    arms.push(self.expr(1, false));
+                    self.eat_punct(",");
+                }
+                if self.pos == before {
+                    self.pos += 1;
+                }
+            }
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+
+    /// A path (`a::b::c`, with turbofish skipped), then macro-call or
+    /// struct-literal continuation.
+    fn path_expr(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let mut segs = Vec::new();
+        loop {
+            match self.peek(0) {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    segs.push(t.text.clone());
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+            if self.at_punct("::") {
+                if self.peek(1).is_some_and(|t| t.is_punct("<")) {
+                    // Path turbofish: `Foo::<Bar>::baz` — skip the angles.
+                    self.pos += 1;
+                    self.skip_angles();
+                    if !self.at_punct("::") {
+                        break;
+                    }
+                    self.pos += 1;
+                } else if self.peek(1).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if segs.is_empty() {
+            self.pos += 1;
+            return Expr::Other { line };
+        }
+        // Macro call?
+        if self.at_punct("!")
+            && self
+                .peek(1)
+                .is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+        {
+            self.pos += 2; // `!` + opening delimiter
+            let mut depth = 1usize;
+            let mut inner_calls = Vec::new();
+            let mut inner_idents = Vec::new();
+            while depth > 0 {
+                let Some(t) = self.bump() else { break };
+                match t.kind {
+                    TokenKind::Punct => match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        _ => {}
+                    },
+                    TokenKind::Ident => {
+                        inner_idents.push(t.text.clone());
+                        if self.at_punct("(") {
+                            inner_calls.push((t.text.clone(), t.line));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return Expr::MacroCall {
+                name: segs.last().cloned().unwrap_or_default(),
+                line,
+                inner_calls,
+                inner_idents,
+            };
+        }
+        // Struct literal?
+        if !no_struct && self.at_punct("{") && self.looks_like_struct_lit() {
+            self.pos += 1; // `{`
+            let mut fields = Vec::new();
+            loop {
+                let before = self.pos;
+                match self.peek(0) {
+                    None => break,
+                    Some(t) if t.is_punct("}") => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                if self.eat_punct("..") {
+                    fields.push(self.expr(1, false));
+                } else if self.peek(0).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && self.peek(1).is_some_and(|t| t.is_punct(":"))
+                {
+                    self.pos += 2;
+                    fields.push(self.expr(1, false));
+                } else if self.peek(0).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    // Shorthand `Foo { x }`.
+                    let t = self.toks[self.pos].clone();
+                    fields.push(Expr::Path {
+                        segs: vec![t.text],
+                        line: t.line,
+                    });
+                    self.pos += 1;
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.pos += 1;
+                }
+            }
+            return Expr::StructLit { segs, fields, line };
+        }
+        Expr::Path { segs, line }
+    }
+
+    /// After a path's `{`: does the body look like struct-literal fields?
+    fn looks_like_struct_lit(&self) -> bool {
+        match self.peek(1) {
+            Some(t) if t.is_punct("}") || t.is_punct("..") => true,
+            Some(t) if t.kind == TokenKind::Ident => self
+                .peek(2)
+                .is_some_and(|n| n.is_punct(":") || n.is_punct(",") || n.is_punct("}")),
+            _ => false,
+        }
+    }
+
+    /// Skips `<…>` starting at the `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") || t.is_punct(">=") {
+                depth -= 1;
+            } else if depth == 0 {
+                break;
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+
+    /// Postfix continuations: `.method(…)`, `.field`, `(…)`, `[…]`, `?`,
+    /// `as Ty`, `.await`.
+    fn postfix(&mut self, mut lhs: Expr, no_struct: bool) -> Expr {
+        while let Some(t) = self.peek(0) {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, ".") => {
+                    let line = t.line;
+                    let Some(next) = self.peek(1) else {
+                        self.pos += 1;
+                        break;
+                    };
+                    match next.kind {
+                        TokenKind::Ident => {
+                            let name = next.text.clone();
+                            let name_line = next.line;
+                            self.pos += 2;
+                            // Method turbofish: `.collect::<BTreeMap<_, _>>()`.
+                            let mut turbofish = Vec::new();
+                            if self.at_punct("::") && self.peek(1).is_some_and(|t| t.is_punct("<"))
+                            {
+                                self.pos += 1;
+                                let start = self.pos;
+                                self.skip_angles();
+                                for t in &self.toks[start..self.pos] {
+                                    if t.kind == TokenKind::Ident {
+                                        turbofish.push(t.text.clone());
+                                    }
+                                }
+                            }
+                            if self.eat_punct("(") {
+                                let args = self.comma_exprs(")");
+                                lhs = Expr::MethodCall {
+                                    recv: Box::new(lhs),
+                                    name,
+                                    turbofish,
+                                    args,
+                                    line: name_line,
+                                };
+                            } else {
+                                lhs = Expr::Field {
+                                    base: Box::new(lhs),
+                                    name,
+                                    line: name_line,
+                                };
+                            }
+                        }
+                        TokenKind::Number => {
+                            let name = next.text.clone();
+                            self.pos += 2;
+                            lhs = Expr::Field {
+                                base: Box::new(lhs),
+                                name,
+                                line,
+                            };
+                        }
+                        _ => {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                (TokenKind::Punct, "(") => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let args = self.comma_exprs(")");
+                    lhs = Expr::Call {
+                        callee: Box::new(lhs),
+                        args,
+                        line,
+                    };
+                }
+                (TokenKind::Punct, "[") => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let index = self.expr(1, false);
+                    self.eat_punct("]");
+                    lhs = Expr::Index {
+                        base: Box::new(lhs),
+                        index: Box::new(index),
+                        line,
+                    };
+                }
+                (TokenKind::Punct, "?") => {
+                    let line = t.line;
+                    self.pos += 1;
+                    lhs = Expr::Unary {
+                        op: "?".to_owned(),
+                        expr: Box::new(lhs),
+                        line,
+                    };
+                }
+                (TokenKind::Ident, "as") => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let ty = self.cast_type();
+                    lhs = Expr::Cast {
+                        expr: Box::new(lhs),
+                        ty,
+                        line,
+                    };
+                }
+                _ => break,
+            }
+            let _ = no_struct;
+        }
+        lhs
+    }
+
+    /// The type after `as`: idents, `::`, balanced angles/parens, leading
+    /// pointer/reference sigils.
+    fn cast_type(&mut self) -> Type {
+        let mut toks = Vec::new();
+        // Leading sigils: `*const T`, `*mut T`, `&T`.
+        while let Some(t) = self.peek(0) {
+            if t.is_punct("*") || t.is_punct("&") || t.is_ident("const") || t.is_ident("mut") {
+                toks.push(t.text.clone());
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            let take = match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, _) => true,
+                (TokenKind::Punct, "::") => true,
+                (TokenKind::Punct, "<") | (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => {
+                    depth += 1;
+                    true
+                }
+                (TokenKind::Punct, ">") | (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                    if depth == 0 {
+                        false
+                    } else {
+                        depth -= 1;
+                        true
+                    }
+                }
+                _ => depth > 0,
+            };
+            if !take {
+                break;
+            }
+            toks.push(t.text.clone());
+            self.pos += 1;
+        }
+        Type { toks }
+    }
+
+    /// Comma-separated expressions through the closing delimiter.
+    fn comma_exprs(&mut self, close: &str) -> Vec<Expr> {
+        let mut out = Vec::new();
+        loop {
+            let before = self.pos;
+            match self.peek(0) {
+                None => break,
+                Some(t) if t.is_punct(close) => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            out.push(self.expr(1, false));
+            self.eat_punct(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Stmt};
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_signature_and_body() {
+        let ast = parse_src(
+            "pub fn stats(frag: &Fragmentation, chunks: &[Chunk]) -> Result<Vec<u64>, Error> {\n\
+                 let mut out = Vec::new();\n\
+                 out.push(1);\n\
+                 Ok(out)\n\
+             }\n",
+        );
+        let fns = ast.fns();
+        assert_eq!(fns.len(), 1);
+        let f = fns[0].def;
+        assert_eq!(f.name, "stats");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].0, "frag");
+        assert!(f.params[0].1.mentions("Fragmentation"));
+        assert!(f.ret.as_ref().is_some_and(|t| t.mentions("Result")));
+        assert_eq!(f.body.as_ref().map(|b| b.stmts.len()), Some(3));
+    }
+
+    #[test]
+    fn impls_mods_and_test_flags() {
+        let ast = parse_src(
+            "impl<T: Clone> Foo<T> {\n\
+                 fn method(&self, x: u64) -> u64 { x }\n\
+             }\n\
+             impl Display for Bar { fn fmt(&self) {} }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { helper(); }\n\
+             }\n",
+        );
+        let fns = ast.fns();
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].impl_ty, Some("Foo"));
+        assert!(fns[0].def.has_self);
+        assert_eq!(fns[1].impl_ty, Some("Bar"));
+        assert!(fns[2].cfg_test && fns[2].is_test);
+    }
+
+    #[test]
+    fn method_chains_keep_receivers() {
+        let ast = parse_src("fn f(m: &HashMap<u32, u32>) -> usize { m.keys().count() }\n");
+        let body = ast.fns()[0].def.body.as_ref().unwrap();
+        let Stmt::Expr { expr, .. } = &body.stmts[0] else {
+            panic!("expression statement expected");
+        };
+        let Expr::MethodCall { recv, name, .. } = expr else {
+            panic!("method call expected, got {expr:?}");
+        };
+        assert_eq!(name, "count");
+        let Expr::MethodCall { recv, name, .. } = recv.as_ref() else {
+            panic!("inner method call expected");
+        };
+        assert_eq!(name, "keys");
+        assert!(matches!(recv.as_ref(), Expr::Path { segs, .. } if segs == &["m"]));
+    }
+
+    #[test]
+    fn control_flow_and_struct_literals() {
+        let ast = parse_src(
+            "fn f(n: u64) -> Foo {\n\
+                 let mut acc = 0u64;\n\
+                 for i in 0..n {\n\
+                     if i % 2 == 0 { acc += i; }\n\
+                 }\n\
+                 while acc > 10 { acc /= 2; }\n\
+                 match acc { 0 => Foo { v: 0 }, v => Foo { v } }\n\
+             }\n",
+        );
+        let body = ast.fns()[0].def.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 4);
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Let { name: Some(n), .. } if n == "acc"
+        ));
+        let mut saw_add_assign = false;
+        let mut struct_lits = 0;
+        body.walk_exprs(&mut |e| match e {
+            Expr::Assign { op, .. } if op == "+=" => saw_add_assign = true,
+            Expr::StructLit { segs, .. } if segs == &["Foo"] => struct_lits += 1,
+            _ => {}
+        });
+        assert!(saw_add_assign);
+        assert_eq!(struct_lits, 2);
+    }
+
+    #[test]
+    fn wildcard_let_and_macros() {
+        let ast = parse_src(
+            "fn f() {\n\
+                 let _ = fallible();\n\
+                 let (a, b) = pair();\n\
+                 println!(\"{} {}\", helper(a), b);\n\
+             }\n",
+        );
+        let body = ast.fns()[0].def.body.as_ref().unwrap();
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Let {
+                wildcard: true,
+                name: None,
+                ..
+            }
+        ));
+        assert!(matches!(&body.stmts[1], Stmt::Let { name: None, .. }));
+        let Stmt::Expr { expr, .. } = &body.stmts[2] else {
+            panic!("macro statement expected");
+        };
+        let Expr::MacroCall {
+            name, inner_calls, ..
+        } = expr
+        else {
+            panic!("macro call expected, got {expr:?}");
+        };
+        assert_eq!(name, "println");
+        assert_eq!(inner_calls.len(), 1);
+        assert_eq!(inner_calls[0].0, "helper");
+    }
+
+    #[test]
+    fn let_else_and_turbofish() {
+        let ast = parse_src(
+            "fn f(v: Vec<u64>) -> BTreeMap<u64, u64> {\n\
+                 let Some(x) = v.first() else { return BTreeMap::new(); };\n\
+                 v.iter().map(|k| (*k, x + k)).collect::<BTreeMap<u64, u64>>()\n\
+             }\n",
+        );
+        let body = ast.fns()[0].def.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        let mut turbofish = Vec::new();
+        body.walk_exprs(&mut |e| {
+            if let Expr::MethodCall {
+                name, turbofish: t, ..
+            } = e
+            {
+                if name == "collect" {
+                    turbofish = t.clone();
+                }
+            }
+        });
+        assert!(turbofish.contains(&"BTreeMap".to_owned()));
+    }
+
+    #[test]
+    fn pathological_inputs_terminate() {
+        for src in [
+            "fn f( {",
+            "impl {",
+            "match",
+            "fn f() { if }",
+            "let x = ;",
+            "fn f() { a.b.(; }",
+            "struct S { x: }",
+            "fn f() { ((((( }",
+            "#[cfg(test)",
+        ] {
+            let _ = parse_src(src); // must not hang or panic
+        }
+    }
+
+    /// The parser must accept every real workspace file without panicking
+    /// and find a plausible number of functions.
+    #[test]
+    fn parses_the_entire_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let mut files = Vec::new();
+        let crates = std::fs::read_dir(root.join("crates")).expect("crates dir");
+        for entry in crates {
+            let src_dir = entry.expect("dir entry").path().join("src");
+            if src_dir.is_dir() {
+                collect(&src_dir, &mut files);
+            }
+        }
+        assert!(files.len() > 20, "workspace walk found too few files");
+        let mut total_fns = 0usize;
+        for f in &files {
+            let src = std::fs::read_to_string(f).expect("readable source");
+            let ast = parse_src(&src);
+            total_fns += ast.fns().len();
+        }
+        assert!(
+            total_fns > 300,
+            "expected hundreds of fns across the workspace, got {total_fns}"
+        );
+    }
+
+    #[cfg(test)]
+    fn collect(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                collect(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+}

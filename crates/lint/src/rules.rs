@@ -1,16 +1,20 @@
-//! The rule engine: five project-specific determinism & safety rules that
-//! clippy cannot express, each born from a concrete bug class (see
-//! DESIGN.md §11 for the postmortems).
+//! The token-level rule engine: project-specific determinism & safety
+//! rules that clippy cannot express, each born from a concrete bug class
+//! (see DESIGN.md §11 for the postmortems).
 //!
-//! | rule id               | catches                                          |
-//! |-----------------------|--------------------------------------------------|
-//! | `map-iter-order`      | hash-order nondeterminism leaking into outputs   |
-//! | `unchecked-arith`     | unchecked `+`/`*` on `u64`/`usize` accumulators  |
-//! | `obs-fallback-parity` | `#[cfg(feature = "obs")]` items with no no-op twin |
-//! | `obs-name-prefix`     | metric/span names outside the stage registry     |
-//! | `panic-in-lib`        | `panic!`/`assert!` in non-test library paths     |
+//! | rule id                | catches                                          |
+//! |------------------------|--------------------------------------------------|
+//! | `map-iter-order`       | hash-order nondeterminism leaking into outputs   |
+//! | `obs-fallback-parity`  | `#[cfg(feature = "obs")]` items with no no-op twin |
+//! | `obs-name-prefix`      | metric/span names outside the stage registry     |
+//! | `panic-in-lib`         | `panic!`/`assert!` in non-test library paths     |
 //!
-//! Rules work on the token stream from [`crate::lexer`] — heuristic by
+//! The semantic rules (`determinism-taint`, `unchecked-arith-expr`,
+//! `error-drop`) live in [`crate::taint`] and [`crate::semantic`] on top of
+//! the AST/call-graph layer (DESIGN.md §14); this module keeps the
+//! token-stream rules and the shared vocabulary constants they draw on.
+//!
+//! Token rules work on the stream from [`crate::lexer`] — heuristic by
 //! design. False positives are handled by the escape contract
 //! (`// nashdb-lint: allow(rule-id) -- why`), never by weakening a rule.
 
@@ -21,12 +25,26 @@ use crate::source::SourceFile;
 /// lacking a justification.
 pub const RULE_IDS: &[&str] = &[
     "map-iter-order",
-    "unchecked-arith",
+    "determinism-taint",
+    "unchecked-arith-expr",
+    "error-drop",
     "obs-fallback-parity",
     "obs-name-prefix",
     "panic-in-lib",
     "escape-needs-justification",
 ];
+
+/// Maps deprecated rule ids to their current spelling. `unchecked-arith`
+/// (token-stream, name-heuristic) was superseded by the expression-level
+/// `unchecked-arith-expr`; old escapes and baseline entries keep working
+/// through this alias.
+#[must_use]
+pub fn canonical_rule(id: &str) -> &str {
+    match id {
+        "unchecked-arith" => "unchecked-arith-expr",
+        other => other,
+    }
+}
 
 /// Crates whose outputs must be a deterministic function of the scan
 /// window; `map-iter-order` applies only to these (crate directory names).
@@ -99,7 +117,6 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     if DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
         map_iter_order(file, &mut findings);
     }
-    unchecked_arith(file, &mut findings);
     obs_fallback_parity(file, &mut findings);
     if !OBS_NAME_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
         obs_name_prefix(file, &mut findings);
@@ -112,7 +129,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     findings.retain(|f| {
         !file.escapes.iter().any(|e| {
             e.justified
-                && e.rule == f.rule
+                && canonical_rule(&e.rule) == f.rule
                 && (e.file_wide || e.line == f.line || e.line + 1 == f.line)
         })
     });
@@ -229,7 +246,7 @@ fn statement_mentions(toks: &[Token], start: usize, sinks: &[&str]) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Iteration methods whose order is the hash map's internal order.
-const ITER_METHODS: &[&str] = &[
+pub const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -246,7 +263,7 @@ const ITER_METHODS: &[&str] = &[
 /// reduction. (Floating-point `sum` is order-sensitive in the last bits;
 /// value-critical float folds should iterate sorted inputs regardless —
 /// the escape contract is the pressure valve, not a weaker rule.)
-const SANCTIONED_SINKS: &[&str] = &[
+pub const SANCTIONED_SINKS: &[&str] = &[
     "sort",
     "sort_by",
     "sort_by_key",
@@ -357,27 +374,11 @@ fn map_iter_order(file: &SourceFile, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule: unchecked-arith
+// Shared arithmetic vocabulary (used by `unchecked-arith-expr`)
 // ---------------------------------------------------------------------------
 
-/// Names treated as accumulators.
-fn is_accumulator_name(name: &str) -> bool {
-    const EXACT: &[&str] = &[
-        "acc", "sum", "total", "count", "counter", "tally", "used", "covered", "consumed", "spent",
-        "placed", "accum",
-    ];
-    const AFFIXES: &[&str] = &[
-        "_total", "total_", "_sum", "sum_", "_count", "count_", "_acc", "acc_", "_used", "used_",
-        "_spent",
-    ];
-    EXACT.contains(&name)
-        || AFFIXES
-            .iter()
-            .any(|a| name.starts_with(a) || name.ends_with(a))
-}
-
 /// Evidence in the same statement that the arithmetic is overflow-aware.
-const CHECKED_MARKERS: &[&str] = &[
+pub const CHECKED_MARKERS: &[&str] = &[
     "saturating_add",
     "saturating_mul",
     "saturating_sub",
@@ -391,80 +392,6 @@ const CHECKED_MARKERS: &[&str] = &[
     "usize_from",
     "saturating_u64",
 ];
-
-/// The `QueueView::enqueue` overflow class: unchecked `+`/`+=`/`*` on
-/// `u64`/`usize` accumulator-named bindings, outside the `num` helper
-/// modules where checked conversion/arithmetic helpers live.
-fn unchecked_arith(file: &SourceFile, findings: &mut Vec<Finding>) {
-    if file.path.ends_with("/num.rs") || file.path.contains("/num/") {
-        return;
-    }
-    let toks = &file.lexed.tokens;
-    let numeric = typed_names(toks, &["u64", "usize"], &["u64", "usize"]);
-    let is_acc = |name: &str| is_accumulator_name(name) && numeric.iter().any(|n| n == name);
-
-    let report = |tok: &Token, op: &str, findings: &mut Vec<Finding>| {
-        findings.push(Finding {
-            rule: "unchecked-arith",
-            file: file.path.clone(),
-            line: tok.line,
-            message: format!(
-                "unchecked `{op}` on accumulator `{}`; use `saturating_*`/`checked_*` (or the \
-                 `num` helpers) so a hot counter cannot wrap",
-                tok.text
-            ),
-        });
-    };
-
-    let mut i = 0;
-    while i < toks.len() {
-        let t = &toks[i];
-        if t.kind != TokenKind::Ident || in_test(file, t.line) || !is_acc(&t.text) {
-            i += 1;
-            continue;
-        }
-        // `acc += …`, `acc *= …`
-        if let Some(op) = toks
-            .get(i + 1)
-            .filter(|n| n.is_punct("+=") || n.is_punct("*="))
-        {
-            if !statement_mentions(toks, i + 2, CHECKED_MARKERS) {
-                report(t, &op.text, findings);
-            }
-            i += 2;
-            continue;
-        }
-        // `acc[i] += …`, `acc[i] *= …`
-        if toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
-            let mut j = i + 2;
-            let mut depth = 1usize;
-            while j < toks.len() && depth > 0 {
-                if toks[j].is_punct("[") {
-                    depth += 1;
-                } else if toks[j].is_punct("]") {
-                    depth -= 1;
-                }
-                j += 1;
-            }
-            if let Some(op) = toks.get(j).filter(|n| n.is_punct("+=") || n.is_punct("*=")) {
-                if !statement_mentions(toks, j + 1, CHECKED_MARKERS) {
-                    report(t, &op.text, findings);
-                }
-            }
-        }
-        // `acc = acc + …`, `acc = acc * …`
-        if toks.get(i + 1).is_some_and(|n| n.is_punct("="))
-            && toks.get(i + 2).is_some_and(|n| n.is_ident(&t.text))
-            && toks
-                .get(i + 3)
-                .is_some_and(|n| n.is_punct("+") || n.is_punct("*"))
-            && !statement_mentions(toks, i + 4, CHECKED_MARKERS)
-        {
-            report(t, &toks[i + 3].text, findings);
-        }
-        i += 1;
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Rule: obs-fallback-parity

@@ -1,0 +1,524 @@
+//! AST-level rules: `unchecked-arith-expr` and `error-drop`.
+//!
+//! * `unchecked-arith-expr` supersedes the token rule `unchecked-arith`
+//!   (now a deprecated alias). Instead of guessing by accumulator *names*,
+//!   it flags `+=`/`*=` (and `x = x + …`/`x = x * …`) on *integer-typed*
+//!   bindings inside loop bodies — the shape that actually wraps under
+//!   load. A binding declared inside the loop, a while-condition that
+//!   bounds the cursor (`while i < n`), or a `saturating_*`/`checked_*`/
+//!   `wrapping_*` marker in the statement all sanitize.
+//! * `error-drop` catches `let _ = fallible()` discarding a
+//!   `Result`-returning **workspace** function's error (the one spelling
+//!   rustc's `unused_must_use` never sees), plus unconsumed
+//!   `#[must_use]`/`Result` returns in statement position. Unresolved calls
+//!   (std, macros) never fire — precision over recall.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Block, Expr, Stmt, Type};
+use crate::callgraph::Workspace;
+use crate::rules::{Finding, CHECKED_MARKERS};
+
+/// Runs `unchecked-arith-expr` over every parsed file.
+pub fn unchecked_arith_expr(ws: &Workspace<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for (idx, node) in ws.fns.iter().enumerate() {
+        let file = &ws.files[node.file].0;
+        if file.path.ends_with("/num.rs") || file.path.contains("/num/") || node.in_test {
+            continue;
+        }
+        let Some(body) = &node.def.body else { continue };
+        let env = IntEnv::build(ws, idx);
+        let mut loops: Vec<LoopCtx> = Vec::new();
+        scan_block(body, &mut loops, &mut |stmt, loops| {
+            check_stmt(
+                ws,
+                node.impl_ty,
+                &env,
+                file,
+                stmt,
+                loops,
+                &mut |line, op, root| {
+                    if file.test_lines.contains(line) {
+                        return;
+                    }
+                    if seen.insert((file.path.clone(), line, root.to_owned())) {
+                        findings.push(Finding {
+                            rule: "unchecked-arith-expr",
+                            file: file.path.clone(),
+                            line,
+                            message: format!(
+                                "unchecked `{op}` on integer `{root}` inside a loop; use \
+                             `saturating_*`/`checked_*` (or the `num` helpers) so a hot \
+                             counter cannot wrap"
+                            ),
+                        });
+                    }
+                },
+            );
+        });
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// One enclosing loop's context.
+struct LoopCtx {
+    /// Names `let`-declared anywhere in the loop body (reset per
+    /// iteration).
+    declared: BTreeSet<String>,
+    /// Names the loop's own header bounds (`for i in …`, `while i < n`).
+    bound: BTreeSet<String>,
+}
+
+impl LoopCtx {
+    fn for_loop(pat: &[String], body: &Block) -> LoopCtx {
+        LoopCtx {
+            declared: declared_names(body),
+            bound: pat.iter().cloned().collect(),
+        }
+    }
+
+    fn while_loop(cond: &Expr, body: &Block) -> LoopCtx {
+        let mut bound = BTreeSet::new();
+        cond.shallow_walk(&mut |e| {
+            if let Expr::Binary { op, lhs, .. } = e {
+                if op == "<" || op == "<=" {
+                    if let Some(name) = root_name(lhs) {
+                        bound.insert(name.to_owned());
+                    }
+                }
+            }
+        });
+        LoopCtx {
+            declared: declared_names(body),
+            bound,
+        }
+    }
+
+    fn bare_loop(body: &Block) -> LoopCtx {
+        LoopCtx {
+            declared: declared_names(body),
+            bound: BTreeSet::new(),
+        }
+    }
+}
+
+fn declared_names(body: &Block) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    body.for_each_stmt(&mut |s| {
+        if let Stmt::Let { name: Some(n), .. } = s {
+            out.insert(n.clone());
+        }
+    });
+    out
+}
+
+/// Walks a block, maintaining the enclosing-loop stack, and hands every
+/// statement (with its loop context) to `f`.
+fn scan_block<'a>(
+    block: &'a Block,
+    loops: &mut Vec<LoopCtx>,
+    f: &mut impl FnMut(&'a Stmt, &[LoopCtx]),
+) {
+    for s in &block.stmts {
+        f(s, loops);
+        match s {
+            Stmt::Let { init: Some(e), .. } => scan_expr(e, loops, f),
+            Stmt::Expr { expr, .. } => scan_expr(expr, loops, f),
+            Stmt::Let { init: None, .. } | Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn scan_expr<'a>(e: &'a Expr, loops: &mut Vec<LoopCtx>, f: &mut impl FnMut(&'a Stmt, &[LoopCtx])) {
+    match e {
+        Expr::ForLoop {
+            pat, iter, body, ..
+        } => {
+            scan_expr(iter, loops, f);
+            loops.push(LoopCtx::for_loop(pat, body));
+            scan_block(body, loops, f);
+            loops.pop();
+        }
+        Expr::While { cond, body, .. } => {
+            scan_expr(cond, loops, f);
+            loops.push(LoopCtx::while_loop(cond, body));
+            scan_block(body, loops, f);
+            loops.pop();
+        }
+        Expr::Loop { body, .. } => {
+            loops.push(LoopCtx::bare_loop(body));
+            scan_block(body, loops, f);
+            loops.pop();
+        }
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            scan_expr(cond, loops, f);
+            scan_block(then, loops, f);
+            if let Some(e) = els {
+                scan_expr(e, loops, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            scan_expr(scrutinee, loops, f);
+            for a in arms {
+                scan_expr(a, loops, f);
+            }
+        }
+        Expr::BlockExpr(b) => scan_block(b, loops, f),
+        Expr::Call { callee, args, .. } => {
+            scan_expr(callee, loops, f);
+            for a in args {
+                scan_expr(a, loops, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            scan_expr(recv, loops, f);
+            for a in args {
+                scan_expr(a, loops, f);
+            }
+        }
+        Expr::Field { base, .. } => scan_expr(base, loops, f),
+        Expr::Index { base, index, .. } => {
+            scan_expr(base, loops, f);
+            scan_expr(index, loops, f);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Closure { body: expr, .. } => {
+            scan_expr(expr, loops, f);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            scan_expr(lhs, loops, f);
+            scan_expr(rhs, loops, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            scan_expr(target, loops, f);
+            scan_expr(value, loops, f);
+        }
+        Expr::Seq { exprs, .. } | Expr::StructLit { fields: exprs, .. } => {
+            for x in exprs {
+                scan_expr(x, loops, f);
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Other { .. } => {}
+    }
+}
+
+/// Checks one statement's top-level expression tree for unchecked
+/// accumulating assignments, calling `report(line, op, root)` per hit.
+fn check_stmt(
+    ws: &Workspace<'_>,
+    impl_ty: Option<&str>,
+    env: &IntEnv,
+    file: &crate::source::SourceFile,
+    stmt: &Stmt,
+    loops: &[LoopCtx],
+    report: &mut impl FnMut(usize, &str, &str),
+) {
+    if loops.is_empty() {
+        return;
+    }
+    let expr = match stmt {
+        Stmt::Let { init: Some(e), .. } => e,
+        Stmt::Expr { expr, .. } => expr,
+        _ => return,
+    };
+    let vocab = stmt_vocab(stmt);
+    if vocab.iter().any(|v| CHECKED_MARKERS.contains(&v.as_str())) {
+        return;
+    }
+    let escaped = |line: usize| {
+        file.escapes.iter().any(|e| {
+            e.justified
+                && crate::rules::canonical_rule(&e.rule) == "unchecked-arith-expr"
+                && (e.file_wide || e.line == line || e.line + 1 == line)
+        })
+    };
+    expr.shallow_walk(&mut |e| {
+        let Expr::Assign {
+            op,
+            target,
+            value,
+            line,
+        } = e
+        else {
+            return;
+        };
+        let checked_op = match op.as_str() {
+            "+=" | "*=" => Some(op.as_str()),
+            "=" => match value.as_ref() {
+                Expr::Binary { op: bop, lhs, .. } if bop == "+" || bop == "*" => {
+                    (root_name(lhs) == root_name(target)).then_some(bop.as_str())
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some(op) = checked_op else { return };
+        let Some(root) = root_name(target) else {
+            return;
+        };
+        // A constant step (`pos += 1`, `pos += 2`) is a cursor/counter,
+        // not data-dependent accumulation: it cannot plausibly wrap a
+        // 64-bit type. The rule targets `total += entry_size`-shaped sums.
+        if op == "+=" || op == "+" {
+            let step = if op == "+=" {
+                Some(value.as_ref())
+            } else if let Expr::Binary { rhs, .. } = value.as_ref() {
+                Some(rhs.as_ref())
+            } else {
+                None
+            };
+            if step.is_some_and(is_int_literal) {
+                return;
+            }
+        }
+        // Declared inside an enclosing loop, or bounded by a loop header:
+        // resets or terminates, not an unbounded accumulator.
+        if loops
+            .iter()
+            .any(|l| l.declared.contains(root) || l.bound.contains(root))
+        {
+            return;
+        }
+        if !env.is_integer(ws, impl_ty, target) || escaped(*line) {
+            return;
+        }
+        report(*line, op, root);
+    });
+}
+
+/// True for an integer literal (with or without a type suffix).
+fn is_int_literal(e: &Expr) -> bool {
+    match e {
+        Expr::Lit { text, .. } => text.chars().next().is_some_and(|c| c.is_ascii_digit()),
+        Expr::Seq { exprs, .. } if exprs.len() == 1 => is_int_literal(&exprs[0]),
+        _ => false,
+    }
+}
+
+/// The root binding a place expression assigns through: `x`, `x[i]`,
+/// `self.x`, `*x` all root at `x`.
+fn root_name(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => Some(&segs[0]),
+        Expr::Field { base, name, .. } => {
+            if matches!(base.as_ref(), Expr::Path { segs, .. } if segs == &["self"]) {
+                Some(name)
+            } else {
+                root_name(base)
+            }
+        }
+        Expr::Index { base, .. } | Expr::Unary { expr: base, .. } => root_name(base),
+        Expr::Seq { exprs, .. } if exprs.len() == 1 => root_name(&exprs[0]),
+        _ => None,
+    }
+}
+
+/// Identifier vocabulary of one statement (for the sanitizer check).
+fn stmt_vocab(stmt: &Stmt) -> BTreeSet<String> {
+    let mut vocab = BTreeSet::new();
+    let expr = match stmt {
+        Stmt::Let { init: Some(e), .. } => e,
+        Stmt::Expr { expr, .. } => expr,
+        _ => return vocab,
+    };
+    expr.shallow_walk(&mut |e| match e {
+        Expr::MethodCall {
+            name, turbofish, ..
+        } => {
+            vocab.insert(name.clone());
+            vocab.extend(turbofish.iter().cloned());
+        }
+        Expr::Path { segs, .. } => vocab.extend(segs.iter().cloned()),
+        Expr::MacroCall { inner_idents, .. } => vocab.extend(inner_idents.iter().cloned()),
+        _ => {}
+    });
+    vocab
+}
+
+/// Integer-typing evidence for one function's bindings.
+struct IntEnv {
+    names: BTreeSet<String>,
+}
+
+impl IntEnv {
+    fn build(ws: &Workspace<'_>, idx: usize) -> IntEnv {
+        let node = &ws.fns[idx];
+        let mut names: BTreeSet<String> = node
+            .def
+            .params
+            .iter()
+            .filter(|(_, t)| t.is_integer())
+            .map(|(n, _)| n.clone())
+            .collect();
+        if let Some(body) = &node.def.body {
+            body.for_each_stmt(&mut |s| {
+                let Stmt::Let {
+                    name: Some(n),
+                    ty,
+                    init,
+                    ..
+                } = s
+                else {
+                    return;
+                };
+                let is_int = match (ty, init) {
+                    (Some(t), _) => t.is_integer(),
+                    (None, Some(e)) => init_is_integer(e),
+                    (None, None) => false,
+                };
+                if is_int {
+                    names.insert(n.clone());
+                }
+            });
+        }
+        IntEnv { names }
+    }
+
+    /// True when the assignment target is integer-typed: a known local,
+    /// or a `self.field` whose declared type is integral.
+    fn is_integer(&self, ws: &Workspace<'_>, impl_ty: Option<&str>, target: &Expr) -> bool {
+        if let Expr::Field { base, name, .. } = target {
+            if matches!(base.as_ref(), Expr::Path { segs, .. } if segs == &["self"]) {
+                return impl_ty
+                    .and_then(|ty| ws.field_type(ty, name))
+                    .is_some_and(Type::is_integer);
+            }
+        }
+        root_name(target).is_some_and(|r| self.names.contains(r))
+    }
+}
+
+/// Integer evidence from an initializer: `0u64`, `x as usize`, `.len()`.
+fn init_is_integer(e: &Expr) -> bool {
+    match e {
+        Expr::Lit { text, .. } => crate::ast::INTEGER_TYPES
+            .iter()
+            .any(|t| text.ends_with(t) && text.len() > t.len()),
+        Expr::Cast { ty, .. } => ty.is_integer(),
+        Expr::MethodCall { name, .. } => name == "len" || name == "count",
+        Expr::Seq { exprs, .. } if exprs.len() == 1 => init_is_integer(&exprs[0]),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: error-drop
+// ---------------------------------------------------------------------------
+
+/// Runs `error-drop` over every parsed file.
+pub fn error_drop(ws: &Workspace<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, node) in ws.fns.iter().enumerate() {
+        let file = &ws.files[node.file].0;
+        if file.is_bin || node.in_test {
+            continue;
+        }
+        let Some(body) = &node.def.body else { continue };
+        let escaped = |line: usize| {
+            file.escapes.iter().any(|e| {
+                e.justified
+                    && e.rule == "error-drop"
+                    && (e.file_wide || e.line == line || e.line + 1 == line)
+            })
+        };
+        body.for_each_stmt(&mut |s| {
+            match s {
+                // `let _ = fallible();`
+                Stmt::Let {
+                    wildcard: true,
+                    init: Some(init),
+                    line,
+                    ..
+                } => {
+                    let Some((callee, call_line)) = resolve_called_fn(ws, idx, init) else {
+                        return;
+                    };
+                    let cal = &ws.fns[callee];
+                    if !(cal.returns_result() || cal.must_use) {
+                        return;
+                    }
+                    let line = (*line).max(call_line.min(*line));
+                    if file.test_lines.contains(line) || escaped(line) {
+                        return;
+                    }
+                    let what = if cal.returns_result() {
+                        "`Result`"
+                    } else {
+                        "`#[must_use]` value"
+                    };
+                    findings.push(Finding {
+                        rule: "error-drop",
+                        file: file.path.clone(),
+                        line,
+                        message: format!(
+                            "`let _ =` silently discards the {what} of `{}` \
+                             ({}:{}); handle it, propagate with `?`, or escape with a \
+                             justification",
+                            cal.def.name,
+                            ws.path_of(callee),
+                            cal.def.line
+                        ),
+                    });
+                }
+                // `fallible();` in statement position (macro-free calls
+                // rustc's unused_must_use also sees — kept for parity so
+                // the fixture corpus documents the contract).
+                Stmt::Expr {
+                    expr,
+                    line,
+                    semi: true,
+                } => {
+                    let Some((callee, _)) = resolve_called_fn(ws, idx, expr) else {
+                        return;
+                    };
+                    let cal = &ws.fns[callee];
+                    if !cal.must_use && !cal.returns_result() {
+                        return;
+                    }
+                    if file.test_lines.contains(*line) || escaped(*line) {
+                        return;
+                    }
+                    findings.push(Finding {
+                        rule: "error-drop",
+                        file: file.path.clone(),
+                        line: *line,
+                        message: format!(
+                            "return value of `{}` is dropped in statement position; \
+                             consume it or escape with a justification",
+                            cal.def.name
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        });
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// If the expression is exactly one call that resolves to a workspace
+/// function, returns it. Wrappers that *consume* the result (`?`, `.ok()`,
+/// a match) intentionally do not resolve.
+fn resolve_called_fn(ws: &Workspace<'_>, from: usize, e: &Expr) -> Option<(usize, usize)> {
+    match e {
+        Expr::Call { callee, line, .. } => {
+            let Expr::Path { segs, .. } = callee.as_ref() else {
+                return None;
+            };
+            ws.resolve_call(segs, from).map(|i| (i, *line))
+        }
+        Expr::MethodCall { name, line, .. } => {
+            // Receiver-untyped here: only workspace-unique method names.
+            ws.resolve_method(name, None, from).map(|i| (i, *line))
+        }
+        Expr::Seq { exprs, .. } if exprs.len() == 1 => resolve_called_fn(ws, from, &exprs[0]),
+        _ => None,
+    }
+}

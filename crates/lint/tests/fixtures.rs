@@ -15,7 +15,7 @@
 
 use std::path::{Path, PathBuf};
 
-use nashdb_lint::{lint_source, lint_workspace, Baseline, Finding};
+use nashdb_lint::{lint_source, lint_sources, lint_workspace, Baseline, Finding};
 
 /// `(line, rule)` pairs a fixture's `//~` markers promise.
 fn expected(src: &str) -> Vec<(usize, String)> {
@@ -66,6 +66,13 @@ fixture_test!(map_iter_positive);
 fixture_test!(map_iter_negative);
 fixture_test!(unchecked_arith_positive);
 fixture_test!(unchecked_arith_negative);
+fixture_test!(arith_alias_escape);
+fixture_test!(taint_helper_positive);
+fixture_test!(taint_sanitized_negative);
+fixture_test!(taint_time_positive);
+fixture_test!(taint_allow_escape);
+fixture_test!(error_drop_positive);
+fixture_test!(error_drop_negative);
 fixture_test!(obs_parity_positive);
 fixture_test!(obs_parity_negative);
 fixture_test!(obs_name_positive);
@@ -73,6 +80,56 @@ fixture_test!(obs_name_negative);
 fixture_test!(panic_positive);
 fixture_test!(panic_negative);
 fixture_test!(panic_allow_file);
+
+/// The acceptance scenario for the semantic layer: a `HashMap` iteration
+/// moved behind a one-call helper *in another crate*. The token rule
+/// cannot fire in the helper's crate (not deterministic) nor at the call
+/// site (no hash-typed receiver); the taint rule reports the frontier
+/// call with provenance.
+#[test]
+fn taint_crosses_crates_through_a_helper() {
+    let helper = "\
+use std::collections::HashMap;
+pub fn chunk_ids(m: &HashMap<u64, u64>) -> Vec<u64> {
+    m.keys().copied().collect()
+}
+";
+    let caller = "\
+pub fn plan(m: &std::collections::HashMap<u64, u64>) -> Vec<u64> {
+    nashdb_workload::helpers::chunk_ids(m)
+}
+
+pub fn plan_sorted(m: &std::collections::HashMap<u64, u64>) -> Vec<u64> {
+    let ids: std::collections::BTreeSet<u64> =
+        nashdb_workload::helpers::chunk_ids(m).into_iter().collect();
+    ids.into_iter().collect()
+}
+";
+    let findings = lint_sources(&[
+        (
+            "crates/workload/src/helpers.rs".to_owned(),
+            helper.to_owned(),
+        ),
+        ("crates/core/src/plan.rs".to_owned(), caller.to_owned()),
+    ]);
+    // Exactly one finding: the unsanitized frontier call in `plan`. The
+    // helper itself is out of scope, `map-iter-order` never fires, and
+    // `plan_sorted` sanitizes in the call statement.
+    assert_eq!(
+        reported(&findings),
+        vec![(2, "determinism-taint".to_owned())],
+        "got: {findings:?}"
+    );
+    assert_eq!(findings[0].file, "crates/core/src/plan.rs");
+    assert!(
+        findings[0].message.contains("chunk_ids")
+            && findings[0]
+                .message
+                .contains("crates/workload/src/helpers.rs"),
+        "provenance chain names the helper: {}",
+        findings[0].message
+    );
+}
 
 #[test]
 fn map_iter_only_applies_to_deterministic_crates() {

@@ -1,0 +1,12 @@
+//! Fixture: the deprecated `unchecked-arith` escape id still silences the
+//! successor rule `unchecked-arith-expr` (alias canonicalization). No
+//! findings expected.
+
+pub fn legacy(sizes: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for s in sizes {
+        // nashdb-lint: allow(unchecked-arith) -- validated < 2^32 upstream; pre-rename escape
+        total += *s;
+    }
+    total
+}

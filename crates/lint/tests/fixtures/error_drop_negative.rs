@@ -1,0 +1,41 @@
+//! Fixture: consumed or out-of-scope fallible calls that must NOT trip
+//! `error-drop` — `?`, binding, matching, std (unresolvable) calls,
+//! escaped sites, and test code.
+
+#[derive(Debug)]
+pub struct StoreError;
+
+pub fn apply_scheme() -> Result<u64, StoreError> {
+    Ok(1)
+}
+
+pub fn propagated() -> Result<u64, StoreError> {
+    let v = apply_scheme()?;
+    Ok(v)
+}
+
+pub fn bound_and_handled() -> u64 {
+    let r = apply_scheme();
+    match r {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+pub fn std_calls_are_out_of_scope(path: &str) {
+    // Unresolvable (std) call: precision over recall.
+    let _ = std::fs::remove_file(path);
+}
+
+pub fn escaped() {
+    // nashdb-lint: allow(error-drop) -- best-effort cache warm-up; failure is benign
+    let _ = apply_scheme();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_discard() {
+        let _ = super::apply_scheme();
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: discarded workspace `Result`s and `#[must_use]` returns.
+//! Every marked line must trip `error-drop`.
+
+#[derive(Debug)]
+pub struct StoreError;
+
+pub struct Store;
+
+impl Store {
+    pub fn persist(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+pub fn apply_scheme() -> Result<u64, StoreError> {
+    Ok(1)
+}
+
+#[must_use]
+pub fn plan_cost() -> u64 {
+    1
+}
+
+pub fn flush(store: &Store) {
+    let _ = store.persist(); //~ error-drop
+}
+
+pub fn reconfigure() {
+    let _ = apply_scheme(); //~ error-drop
+}
+
+pub fn estimate() {
+    plan_cost(); //~ error-drop
+}

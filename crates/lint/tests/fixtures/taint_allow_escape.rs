@@ -1,0 +1,20 @@
+//! Fixture: a justified `determinism-taint` escape silences the source —
+//! and, because escaped sources do not taint their callers, the caller
+//! stays clean too. No findings expected.
+
+use std::collections::HashMap;
+
+fn build_index() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+fn audit_order() -> Vec<u64> {
+    let index = build_index();
+    // nashdb-lint: allow(determinism-taint) -- audit-only pass; the caller re-sorts before use
+    index.keys().copied().collect()
+}
+
+pub fn audited() -> usize {
+    let ids = audit_order();
+    ids.len()
+}

@@ -1,0 +1,33 @@
+//! Fixture: determinism taint the token rule cannot see. The map arrives
+//! through a helper's *return value*, so `map-iter-order`'s typed-name
+//! heuristic never types the binding — only the call-graph rule fires.
+
+use std::collections::HashMap;
+
+fn build_index() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn chunk_order() -> Vec<u64> {
+    let index = build_index();
+    let mut out = Vec::new();
+    for k in index.keys() { //~ determinism-taint
+        out.push(*k);
+    }
+    out
+}
+
+pub struct Router {
+    table: HashMap<u64, u64>,
+}
+
+impl Router {
+    fn table(&self) -> &HashMap<u64, u64> {
+        &self.table
+    }
+
+    pub fn targets(&self) -> Vec<u64> {
+        // A one-call getter hides the receiver type from the token rule.
+        self.table().values().copied().collect() //~ determinism-taint
+    }
+}

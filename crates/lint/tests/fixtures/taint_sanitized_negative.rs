@@ -1,0 +1,29 @@
+//! Fixture: hash iterations whose statements sanitize the order — sorted
+//! in place, collected into BTree containers, or reduced
+//! order-insensitively. No findings expected, including through helper
+//! indirection.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+fn build_index() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn total(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}
+
+pub fn ordered(m: &HashMap<u64, u64>) -> BTreeMap<u64, u64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}
+
+pub fn stable_order() -> Vec<u64> {
+    let index = build_index();
+    let keys: BTreeSet<u64> = index.keys().copied().collect();
+    keys.into_iter().collect()
+}
+
+pub fn hottest() -> Option<u64> {
+    let index = build_index();
+    index.values().copied().max()
+}

@@ -1,0 +1,18 @@
+//! Fixture: wall-clock and raw-thread sources in a deterministic crate.
+//! Unlike iteration sources these cannot be sanitized by a sink in the
+//! same statement — only escaped with a justification.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now() //~ determinism-taint
+}
+
+pub fn epoch_ms() -> u64 {
+    let now = std::time::SystemTime::now(); //~ determinism-taint
+    let _elapsed = now;
+    0
+}
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 1 + 1); //~ determinism-taint
+    let _joined = handle;
+}

@@ -1,6 +1,7 @@
-//! Fixture: accumulator arithmetic that must NOT trip `unchecked-arith` —
-//! saturating/checked forms, non-accumulator names, non-integer
-//! accumulators, escaped sites, and test-only code.
+//! Fixture: loop arithmetic that must NOT trip `unchecked-arith-expr` —
+//! saturating/checked forms, constant cursor steps, bounded `while`
+//! cursors, loop-local (per-iteration) bindings, floats, arithmetic
+//! outside any loop, escaped sites, and test-only code.
 
 pub fn safe_spend(sizes: &[u64]) -> u64 {
     let mut total = 0u64;
@@ -10,16 +11,37 @@ pub fn safe_spend(sizes: &[u64]) -> u64 {
     total
 }
 
-pub fn safe_fill(used: &mut [u64], n: usize, size: u64) {
-    used[n] = used[n].saturating_add(size);
+pub fn cursor(toks: &[u64]) -> u64 {
+    let mut pos = 0usize;
+    let mut last = 0u64;
+    while pos < toks.len() {
+        last = toks[pos];
+        pos += 1;
+    }
+    last
 }
 
-pub fn not_an_accumulator(xs: &[u64]) -> u64 {
-    let mut widgets = 0u64;
-    for x in xs {
-        widgets += *x;
+pub fn skip_pairs(toks: &[u64]) -> usize {
+    let mut pos = 0usize;
+    loop {
+        if pos >= toks.len() {
+            break;
+        }
+        pos += 2;
     }
-    widgets
+    pos
+}
+
+pub fn per_round(rounds: &[Vec<u64>]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for r in rounds {
+        // Declared inside the loop: reset every iteration, not an
+        // unbounded accumulator.
+        let mut batch = 0u64;
+        batch += r.len() as u64;
+        out.push(batch);
+    }
+    out
 }
 
 pub fn float_accumulator(xs: &[f64]) -> f64 {
@@ -30,10 +52,16 @@ pub fn float_accumulator(xs: &[f64]) -> f64 {
     total_f
 }
 
+pub fn once(a: u64, b: u64) -> u64 {
+    let mut t = a;
+    t += b;
+    t
+}
+
 pub fn escaped(sizes: &[u64]) -> u64 {
     let mut total = 0u64;
     for s in sizes {
-        // nashdb-lint: allow(unchecked-arith) -- sizes are validated < 2^32 upstream
+        // nashdb-lint: allow(unchecked-arith-expr) -- sizes are validated < 2^32 upstream
         total += *s;
     }
     total
@@ -44,7 +72,9 @@ mod tests {
     #[test]
     fn test_code_is_exempt() {
         let mut sum = 0u64;
-        sum += 1;
-        assert_eq!(sum, 1);
+        for x in [1u64, 2, 3] {
+            sum += x;
+        }
+        assert_eq!(sum, 6);
     }
 }

@@ -1,28 +1,46 @@
-//! Fixture: unchecked arithmetic on integer accumulators. Every marked line
-//! must trip `unchecked-arith`.
+//! Fixture: data-dependent integer accumulation inside loops. Every marked
+//! line must trip `unchecked-arith-expr`.
 
 pub fn spend(sizes: &[u64]) -> u64 {
     let mut total = 0u64;
     for s in sizes {
-        total += *s; //~ unchecked-arith
+        total += *s; //~ unchecked-arith-expr
     }
     total
-}
-
-pub fn fill(used: &mut [u64], n: usize, size: u64) {
-    used[n] += size; //~ unchecked-arith
 }
 
 pub fn fold(xs: &[u64]) -> u64 {
     let mut sum: u64 = 0;
     for x in xs {
-        sum = sum + x; //~ unchecked-arith
+        sum = sum + x; //~ unchecked-arith-expr
     }
     sum
 }
 
-pub fn scale(count: usize, factor: usize) -> usize {
-    let mut count = count;
-    count *= factor; //~ unchecked-arith
-    count
+pub fn compound(factors: &[usize]) -> usize {
+    let mut product: usize = 1;
+    for f in factors {
+        product *= f; //~ unchecked-arith-expr
+    }
+    product
+}
+
+pub fn drain(queue: &mut Vec<u64>) -> u64 {
+    let mut consumed = 0u64;
+    while let Some(size) = queue.pop() {
+        consumed += size; //~ unchecked-arith-expr
+    }
+    consumed
+}
+
+pub struct Meter {
+    pub used: u64,
+}
+
+impl Meter {
+    pub fn absorb(&mut self, sizes: &[u64]) {
+        for s in sizes {
+            self.used += *s; //~ unchecked-arith-expr
+        }
+    }
 }

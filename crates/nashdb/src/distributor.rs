@@ -7,7 +7,7 @@ use nashdb_cluster::QueryRequest;
 use nashdb_core::economics::NodeSpec;
 use nashdb_core::fragment::{
     fragment_stats, optimal_fragmentation, split_oversized, FragmentRange, FragmentStats,
-    GreedyFragmenter,
+    Fragmentation, GreedyFragmenter,
 };
 use nashdb_core::ids::{FragmentId, TableId};
 use nashdb_core::num::{saturating_u64, usize_from};
@@ -86,7 +86,12 @@ fn table_fragments(
         cfg.greedy_rounds.max(24 * cfg.max_frags_per_table)
     };
     let frag = if cfg.use_optimal_fragmentation {
-        optimal_fragmentation(&chunks, cfg.max_frags_per_table)
+        // The estimator always emits contiguous chunks over a nonempty
+        // table, so the fallback only guards a broken estimator; debug
+        // builds surface it.
+        let frag = optimal_fragmentation(&chunks, cfg.max_frags_per_table);
+        debug_assert!(frag.is_ok(), "table {t_idx}: {:?}", frag.as_ref().err());
+        frag.unwrap_or_else(|_| Fragmentation::single(t.tuples.max(1)))
     } else {
         t.fragmenter.run(&chunks, rounds);
         t.fragmenter.fragmentation()
@@ -108,7 +113,9 @@ fn table_fragments(
     #[cfg(not(feature = "invariant-audit"))]
     let _ = t_idx;
     let frag = split_oversized(&frag, cfg.spec.disk.min(cfg.max_fragment_tuples.max(1)));
-    fragment_stats(&frag, &chunks)
+    let stats = fragment_stats(&frag, &chunks);
+    debug_assert!(stats.is_ok(), "table {t_idx}: {:?}", stats.as_ref().err());
+    stats.unwrap_or_default()
 }
 
 /// The NashDB system: per-table tuple value estimators and fragmenters, plus
@@ -369,8 +376,9 @@ impl NashDbDistributor {
             .iter()
             .map(|t| {
                 let chunks = t.estimator.chunks(t.tuples);
-                let prefix = nashdb_core::fragment::ChunkPrefix::new(&chunks);
-                t.fragmenter.fragmentation().total_error(&prefix)
+                nashdb_core::fragment::ChunkPrefix::new(&chunks).map_or(0.0, |prefix| {
+                    t.fragmenter.fragmentation().total_error(&prefix)
+                })
             })
             .sum()
     }

@@ -221,8 +221,7 @@ pub fn run_workload_with_faults(
                 // No asserts here: between routing and dispatch nothing can
                 // invalidate the plan, but if state ever drifts the run
                 // degrades to an abandoned query instead of a panic.
-                let dispatched =
-                    matches!(&outcome, RouteOutcome::Reads(reads) if sim.dispatch(id, reads).is_ok());
+                let dispatched = matches!(&outcome, RouteOutcome::Reads(reads) if sim.dispatch(id, reads).is_ok());
                 if !dispatched {
                     sim.abandon_query(id);
                     inflight.remove(&id);

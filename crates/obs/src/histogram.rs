@@ -142,7 +142,7 @@ impl Histogram {
         let target_rank = ((p / 100.0) * self.count as f64).ceil().max(1.0);
         let mut cumulative = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            cumulative += c;
+            cumulative = cumulative.saturating_add(c);
             if cumulative as f64 >= target_rank {
                 return Some(bucket_bounds(i).1.min(self.max));
             }

@@ -398,7 +398,9 @@ mod tests {
         assert!(art.cell("nope/steady/uniform/tight").is_none());
         assert!(cell.system("nope").is_none());
         // Fault cells key with the fifth segment.
-        assert!(art.cell("bernoulli/drifting/budget-hdd/ample/crash").is_some());
+        assert!(art
+            .cell("bernoulli/drifting/budget-hdd/ample/crash")
+            .is_some());
         assert!(art.cell("bernoulli/drifting/budget-hdd/ample").is_none());
     }
 
@@ -408,7 +410,11 @@ mod tests {
         let art = sample();
         let text = art.to_json_string();
         assert!(
-            !text.split("\"faults\": \"crash\"").next().unwrap().contains("faults"),
+            !text
+                .split("\"faults\": \"crash\"")
+                .next()
+                .unwrap()
+                .contains("faults"),
             "failure-free cells must not serialize the faults field"
         );
         let legacy = text.replace(",\n      \"faults\": \"crash\"", "");

@@ -87,7 +87,7 @@ mod tests {
         assert_eq!(b, SimTime::from_secs(2), "second transfer waits for first");
         // A transfer offered after the link drained starts immediately.
         let c = link.transmit(SimTime::from_secs(10), 500);
-        assert_eq!(c.as_secs_f64(), 10.5);
+        assert_eq!(c, SimTime::from_nanos(10_500_000_000));
     }
 
     #[test]

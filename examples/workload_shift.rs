@@ -40,7 +40,9 @@ fn main() {
             nash.run(&chunks, 4);
         }
         let chunks = estimator.chunks(TABLE);
-        let prefix = ChunkPrefix::new(&chunks);
+        let Ok(prefix) = ChunkPrefix::new(&chunks) else {
+            return; // estimator chunks are contiguous by construction
+        };
         let frag = nash.fragmentation();
         println!(
             "phase {} — hot range at {label} ({hot_start}..{})",
@@ -54,7 +56,7 @@ fn main() {
             frag.total_error(&prefix)
         );
         // Which fragments are worth replicating? Show the value density.
-        let stats = nashdb_core::fragment::fragment_stats(&frag, &chunks);
+        let stats = nashdb_core::fragment::fragment_stats(&frag, &chunks).unwrap_or_default();
         for s in &stats {
             let density = s.value / s.range.size() as f64;
             if density > 1e-9 {

@@ -38,7 +38,7 @@ fn greedy_pipeline_schemes_are_equilibria() {
         let mut frag = GreedyFragmenter::new(TABLE, 16);
         frag.run(&chunks, 64);
         let frag = nashdb_core::fragment::split_oversized(&frag.fragmentation(), spec().disk);
-        let stats = fragment_stats(&frag, &chunks);
+        let stats = fragment_stats(&frag, &chunks).unwrap();
         let scheme = ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
         assert_eq!(
             check_equilibrium(&scheme.economic_config()),
@@ -52,9 +52,9 @@ fn greedy_pipeline_schemes_are_equilibria() {
 fn optimal_pipeline_schemes_are_equilibria() {
     let est = estimator_after(120, 5);
     let chunks = est.chunks(TABLE);
-    let frag = optimal_fragmentation(&chunks, 12);
+    let frag = optimal_fragmentation(&chunks, 12).unwrap();
     let frag = nashdb_core::fragment::split_oversized(&frag, spec().disk);
-    let stats = fragment_stats(&frag, &chunks);
+    let stats = fragment_stats(&frag, &chunks).unwrap();
     let scheme = ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
     assert_eq!(check_equilibrium(&scheme.economic_config()), Ok(()));
 }
@@ -75,7 +75,7 @@ fn equilibrium_holds_across_window_evolution() {
         let chunks = est.chunks(TABLE);
         fragmenter.run(&chunks, 8);
         let frag = nashdb_core::fragment::split_oversized(&fragmenter.fragmentation(), spec().disk);
-        let stats = fragment_stats(&frag, &chunks);
+        let stats = fragment_stats(&frag, &chunks).unwrap();
         let scheme = ClusterScheme::build(&stats, ReplicationPolicy::new(WINDOW, spec())).unwrap();
         assert_eq!(
             check_equilibrium(&scheme.economic_config()),
@@ -96,9 +96,9 @@ fn replica_cap_can_break_equilibrium_but_only_toward_entry() {
         est.observe(PricedScan::new(0, 10_000, 100.0));
     }
     let chunks = est.chunks(TABLE);
-    let frag = optimal_fragmentation(&chunks, 4);
+    let frag = optimal_fragmentation(&chunks, 4).unwrap();
     let frag = nashdb_core::fragment::split_oversized(&frag, spec().disk);
-    let stats = fragment_stats(&frag, &chunks);
+    let stats = fragment_stats(&frag, &chunks).unwrap();
     let policy = ReplicationPolicy::new(WINDOW, spec()).with_max_replicas(3);
     let scheme = ClusterScheme::build(&stats, policy).unwrap();
     match check_equilibrium(&scheme.economic_config()) {

@@ -18,9 +18,7 @@ use nashdb_core::fragment::FragmentRange;
 use nashdb_core::ids::TableId;
 use nashdb_core::routing::MaxOfMins;
 use nashdb_obs::{ObsSession, ObsSnapshot};
-use nashdb_sim::{
-    FaultEvent, FaultKind, FaultSchedule, FaultScheduleConfig, SimDuration, SimTime,
-};
+use nashdb_sim::{FaultEvent, FaultKind, FaultSchedule, FaultScheduleConfig, SimDuration, SimTime};
 use nashdb_workload::bernoulli::{workload as bernoulli, BernoulliConfig};
 use nashdb_workload::{Database, TimedQuery, Workload};
 
@@ -85,7 +83,10 @@ fn assert_records_well_formed(m: &Metrics) {
     let ids: HashSet<_> = m.queries.iter().map(|r| r.id).collect();
     assert_eq!(ids.len(), m.queries.len(), "duplicate QueryRecord ids");
     for r in &m.queries {
-        assert!(r.completion >= r.arrival, "completion before arrival: {r:?}");
+        assert!(
+            r.completion >= r.arrival,
+            "completion before arrival: {r:?}"
+        );
     }
 }
 
@@ -120,7 +121,13 @@ fn driver_reroutes_around_a_single_node_crash() {
         nic_tps: 100_000_000,
         core_tps: 200_000_000,
     }));
-    let m = run_workload_with_faults(&w, &mut dist, &MaxOfMins::new(run.phi_tuples()), &run, &faults);
+    let m = run_workload_with_faults(
+        &w,
+        &mut dist,
+        &MaxOfMins::new(run.phi_tuples()),
+        &run,
+        &faults,
+    );
 
     // Acceptance: ≥ 99% completion by re-routing to the surviving replica.
     assert!(
@@ -128,7 +135,10 @@ fn driver_reroutes_around_a_single_node_crash() {
         "only {}/300 queries completed under a single-node crash",
         m.queries.len()
     );
-    assert_eq!(m.availability.queries_abandoned, 0, "fragment 1 never lost its last replica");
+    assert_eq!(
+        m.availability.queries_abandoned, 0,
+        "fragment 1 never lost its last replica"
+    );
     assert_eq!(m.queries.len(), 300);
     assert_eq!(m.availability.node_crashes, 1);
     assert!(
@@ -179,7 +189,13 @@ fn losing_the_last_replica_abandons_cleanly() {
     }]);
     let mut dist = FixedDistributor { scheme };
     let run = run_config(None);
-    let m = run_workload_with_faults(&w, &mut dist, &MaxOfMins::new(run.phi_tuples()), &run, &faults);
+    let m = run_workload_with_faults(
+        &w,
+        &mut dist,
+        &MaxOfMins::new(run.phi_tuples()),
+        &run,
+        &faults,
+    );
 
     // Conservation: every query is completed or abandoned, never lost.
     assert_eq!(
@@ -233,7 +249,13 @@ fn nashdb_run_under_faults(seed: u64) -> (ObsSnapshot, usize, u64) {
     });
     let session = ObsSession::start();
     let mut nash = NashDbDistributor::new(&w.db, cfg);
-    let m = run_workload_with_faults(&w, &mut nash, &MaxOfMins::new(run.phi_tuples()), &run, &faults);
+    let m = run_workload_with_faults(
+        &w,
+        &mut nash,
+        &MaxOfMins::new(run.phi_tuples()),
+        &run,
+        &faults,
+    );
     assert_eq!(
         m.queries.len() as u64 + m.availability.queries_abandoned,
         80,
@@ -294,7 +316,13 @@ fn run_fixed_under(faults: &FaultSchedule) -> Metrics {
         nic_tps: 100_000_000,
         core_tps: 200_000_000,
     }));
-    run_workload_with_faults(&w, &mut dist, &MaxOfMins::new(run.phi_tuples()), &run, faults)
+    run_workload_with_faults(
+        &w,
+        &mut dist,
+        &MaxOfMins::new(run.phi_tuples()),
+        &run,
+        faults,
+    )
 }
 
 proptest! {

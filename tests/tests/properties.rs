@@ -102,10 +102,10 @@ proptest! {
     /// Optimal ≤ greedy ≤ single-fragment error, and all are nonnegative.
     #[test]
     fn error_ordering(chunks in arb_chunks(), k in 1usize..10) {
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let table = prefix.table_len();
         let single = Fragmentation::single(table).total_error(&prefix);
-        let opt = optimal_fragmentation(&chunks, k).total_error(&prefix);
+        let opt = optimal_fragmentation(&chunks, k).unwrap().total_error(&prefix);
         let mut g = GreedyFragmenter::new(table, k);
         g.run(&chunks, 8 * k);
         let greedy = g.fragmentation().total_error(&prefix);
@@ -118,7 +118,7 @@ proptest! {
     /// increases along the trajectory.
     #[test]
     fn greedy_trajectory_is_sound(chunks in arb_chunks(), k in 1usize..10) {
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let table = prefix.table_len();
         let mut g = GreedyFragmenter::new(table, k);
         let mut prev = g.fragmentation().total_error(&prefix);
@@ -139,7 +139,7 @@ proptest! {
     /// error objective.
     #[test]
     fn split_oversized_invariants(chunks in arb_chunks(), max_size in 1u64..400) {
-        let prefix = ChunkPrefix::new(&chunks);
+        let prefix = ChunkPrefix::new(&chunks).unwrap();
         let table = prefix.table_len();
         let base = Fragmentation::single(table);
         let capped = split_oversized(&base, max_size);
@@ -159,10 +159,10 @@ proptest! {
     #[test]
     fn bffd_invariants(chunks in arb_chunks(), disk in 500u64..5_000) {
         let frag = split_oversized(
-            &Fragmentation::single(ChunkPrefix::new(&chunks).table_len()),
+            &Fragmentation::single(ChunkPrefix::new(&chunks).unwrap().table_len()),
             disk,
         );
-        let stats = fragment_stats(&frag, &chunks);
+        let stats = fragment_stats(&frag, &chunks).unwrap();
         let policy = ReplicationPolicy::new(20, NodeSpec::new(10.0, disk))
             .with_max_replicas(12);
         let decisions = decide_replicas(&stats, &policy);

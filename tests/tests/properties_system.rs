@@ -311,8 +311,8 @@ mod audit_system {
                     est.observe(nashdb_core::value::PricedScan::new(start, end, p));
                 }
                 let chunks: Vec<Chunk> = est.chunks(table);
-                let frag = optimal_fragmentation(&chunks, 5);
-                let stats = fragment_stats(&frag, &chunks);
+                let frag = optimal_fragmentation(&chunks, 5).unwrap();
+                let stats = fragment_stats(&frag, &chunks).unwrap();
                 let policy = ReplicationPolicy::new(16, NodeSpec::new(500.0, table));
                 ClusterScheme::build(&stats, policy).expect("fragments fit one node")
             };
