@@ -67,9 +67,18 @@ PERF OPTIONS:
   --fragments N     fragment requests per scan (default 64)
   --nodes N         cluster nodes (default 16)
   --scans N         scans per timing pass (default 400)
+  --batch-scans N   scans per batch in the batch-routing scaling workload
+                    (default 10000)
+  --batch-nodes N   cluster nodes in the batch-routing scaling workload
+                    (default 512; scans are zoned over 16-node zones so
+                    node-disjoint shards form)
   --min-routing-speedup X
                     fail (exit 1) if the incremental router is not at
                     least X times faster than the naive reference
+  --min-batch-speedup X
+                    fail (exit 1) if route_batch is not at least X times
+                    faster than the per-scan incremental loop on the
+                    scaling workload
   --best-of N       repeat the whole suite N times, keep each gauge's
                     minimum (default 1; CI uses 3 — the minimum is the
                     stable estimator on contended shared runners)
@@ -258,6 +267,8 @@ fn perf(mut args: Args) {
         fragments: args.parse("--fragments").unwrap_or(64),
         nodes: args.parse("--nodes").unwrap_or(16),
         scans: args.parse("--scans").unwrap_or(400),
+        batch_scans: args.parse("--batch-scans").unwrap_or(10_000),
+        batch_nodes: args.parse("--batch-nodes").unwrap_or(512),
         best_of: args.parse("--best-of").unwrap_or(1),
         ..PerfConfig::default()
     };
@@ -265,6 +276,7 @@ fn perf(mut args: Args) {
         die("--best-of must be at least 1");
     }
     let min_speedup: Option<f64> = args.parse("--min-routing-speedup");
+    let min_batch_speedup: Option<f64> = args.parse("--min-batch-speedup");
     let out = args
         .value("--obs-out")
         .unwrap_or_else(|| "BENCH_PR.json".to_owned());
@@ -278,16 +290,26 @@ fn perf(mut args: Args) {
         fail(&format!("perf stages emitted no metrics: {missing:?}"));
     }
     let routing = snap.gauge("perf.routing.speedup").unwrap_or(0.0);
+    let batch = snap.gauge("perf.routing.batch_speedup").unwrap_or(0.0);
+    let pool_reuse = snap.gauge("perf.par.pool_reuse").unwrap_or(0.0);
     let lookup = snap.gauge("perf.lookup.speedup").unwrap_or(0.0);
     eprintln!(
         "perf ok: seed {} — routing {:.1}x faster than naive reference, \
-         indexed lookups {:.1}x faster than linear scans",
-        cfg.seed, routing, lookup
+         batch routing {:.1}x faster than per-scan (pool reuse {:.1} \
+         chunks/thread), indexed lookups {:.1}x faster than linear scans",
+        cfg.seed, routing, batch, pool_reuse, lookup
     );
     if let Some(min) = min_speedup {
         if routing < min {
             fail(&format!(
                 "routing speedup {routing:.2}x is below the required {min}x"
+            ));
+        }
+    }
+    if let Some(min) = min_batch_speedup {
+        if batch < min {
+            fail(&format!(
+                "batch routing speedup {batch:.2}x is below the required {min}x"
             ));
         }
     }

@@ -28,6 +28,7 @@ use nashdb_obs::{ObsSnapshot, ScenarioArtifact};
 /// hot path the perf harness times.
 pub const TRACKED_GAUGES: &[&str] = &[
     "perf.routing.incremental_ns",
+    "perf.routing.batch_ns",
     "perf.lookup.indexed_ns",
     "perf.fragment.dp_ns",
     "perf.packing.bffd_ns",

@@ -271,7 +271,7 @@ pub fn run_system_with_faults(
 
 /// Warms a distributor with `n` leading queries of the workload — used when
 /// a system is evaluated on a static batch (driver-side warmup only applies
-/// within [`run_workload`], which handles it via `RunConfig`).
+/// within [`nashdb::run_workload`], which handles it via `RunConfig`).
 pub fn observe_all(dist: &mut dyn Distributor, w: &Workload) {
     for tq in &w.queries {
         dist.observe(&tq.query);

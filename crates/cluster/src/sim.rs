@@ -675,7 +675,9 @@ impl ClusterSim {
                 Event::Arrival(id) => {
                     // Arrivals are scheduled exactly once per id, so the
                     // lookup only misses if internal state was corrupted;
-                    // skipping is the panic-free fallback.
+                    // skipping is the panic-free fallback. Kept in sync
+                    // with `take_coincident_arrivals`, which replays this
+                    // arm for batch collection.
                     if let Some(query) = self.pending.remove(&id) {
                         self.awaiting.insert(
                             id,
@@ -728,6 +730,48 @@ impl ClusterSim {
                 Event::Restart { phys } => self.restart_node(now, phys),
             }
         }
+    }
+
+    /// Collects every further query arriving at *exactly* the current
+    /// simulated time, in event order — the batch companion to a
+    /// [`DriverEvent::QueryArrived`] just returned by
+    /// [`next_event`](Self::next_event).
+    ///
+    /// Coincident arrivals are common under integer clocks and bursty
+    /// workloads; handing them to the driver as one batch lets it route
+    /// them in a single [`ScanRouter::route_batch`] call instead of paying
+    /// per-scan setup. Popping stops at the first event that is not an
+    /// arrival at `now()`, and never while an internal driver event is
+    /// queued (those must reach the driver in order). Each collected query
+    /// goes through exactly the state transition `next_event`'s arrival arm
+    /// performs, so driving with or without batching is event-for-event
+    /// identical.
+    ///
+    /// [`ScanRouter::route_batch`]: nashdb_core::routing::ScanRouter::route_batch
+    pub fn take_coincident_arrivals(&mut self) -> Vec<(QueryId, QueryRequest)> {
+        let mut batch = Vec::new();
+        let now = self.events.now();
+        while self.driver_queue.is_empty() {
+            match self.events.peek() {
+                Some((at, &Event::Arrival(id))) if at == now => {
+                    self.events.pop();
+                    // Mirror of `next_event`'s arrival arm: a pending miss
+                    // means corrupted internal state; skip, don't panic.
+                    if let Some(query) = self.pending.remove(&id) {
+                        self.awaiting.insert(
+                            id,
+                            AwaitingState {
+                                arrival: now,
+                                attempt: 0,
+                            },
+                        );
+                        batch.push((id, query));
+                    }
+                }
+                _ => break,
+            }
+        }
+        batch
     }
 
     /// Ends the run: closes the degraded-time window, accrues cost for every

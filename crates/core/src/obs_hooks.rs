@@ -6,10 +6,10 @@
 //! keeps its no-external-dependency builds (`--no-default-features`).
 
 #[cfg(feature = "obs")]
-pub(crate) use nashdb_obs::{counter_add, gauge_set, record, stopwatch};
+pub(crate) use nashdb_obs::{counter_add, gauge_set, is_active, record, stopwatch};
 
 #[cfg(not(feature = "obs"))]
-pub(crate) use noop::{counter_add, gauge_set, record, stopwatch};
+pub(crate) use noop::{counter_add, gauge_set, is_active, record, stopwatch};
 
 #[cfg(not(feature = "obs"))]
 mod noop {
@@ -25,6 +25,11 @@ mod noop {
 
     #[inline]
     pub(crate) fn record(_name: &str, _value: u64) {}
+
+    #[inline]
+    pub(crate) fn is_active() -> bool {
+        false
+    }
 
     #[inline]
     pub(crate) fn stopwatch() -> Stopwatch {

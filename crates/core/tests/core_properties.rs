@@ -190,6 +190,9 @@ mod audit_props {
         })
     }
 
+    // Test-helper panics are the failure mode here, but this free fn sits
+    // outside any #[cfg(test)] scope so `allow-unwrap-in-tests` misses it.
+    #[allow(clippy::unwrap_used)]
     fn build_scheme(
         chunks: &[Chunk],
         k: usize,

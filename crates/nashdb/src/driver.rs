@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use nashdb_cluster::{ClusterConfig, ClusterSim, DriverEvent, Metrics, QueryRequest};
 use nashdb_core::ids::{NodeId, QueryId};
-use nashdb_core::routing::{QueueView, ScanRouter};
+use nashdb_core::routing::{FragmentRequest, QueueView, ScanRouter};
 use nashdb_core::transition::plan_transition;
 use nashdb_sim::fault::FaultSchedule;
 use nashdb_sim::{SimDuration, SimTime};
@@ -64,10 +64,104 @@ enum RouteOutcome {
     Dead,
 }
 
-/// Routes one query against the current scheme. When `alive_only` is set,
-/// replica candidates on crashed nodes are dropped first — the routing-
-/// around-failures path — and a fragment left with no live replica makes the
-/// whole query [`RouteOutcome::Dead`].
+/// Builds the fragment requests for one query under the current scheme,
+/// dropping replica candidates on crashed nodes when `alive_only` is set —
+/// the routing-around-failures path. `None` means some fragment has no live
+/// replica left, so the query is undispatchable until a node restarts or the
+/// scheme changes.
+fn live_requests(
+    scheme: &DistScheme,
+    query: &QueryRequest,
+    sim: &ClusterSim,
+    alive_only: bool,
+) -> Option<Vec<FragmentRequest>> {
+    let mut requests = scheme.requests_for_query(query);
+    if alive_only {
+        for r in &mut requests {
+            r.candidates.retain(|&n| sim.node_alive(n));
+            if r.candidates.is_empty() {
+                return None;
+            }
+        }
+    }
+    Some(requests)
+}
+
+/// Routes a batch of coincident queries with one router call against one
+/// queue snapshot. [`ScanRouter::route_batch`] threads the queue view
+/// through the batch sequentially, so each query's assignment is identical
+/// to routing it alone at its arrival instant — but queue-view setup, heap
+/// construction, and candidate caches are amortized across the batch.
+///
+/// Scheme construction guarantees every fragment has a replica (and
+/// `alive_only` already marked crash-broken queries [`RouteOutcome::Dead`]),
+/// so a router error here is driver/scheme drift. It used to be a panic;
+/// it now degrades to abandoning the affected queries, counted under
+/// `routing.unroutable_scans`, so a long scenario sweep still finishes.
+fn plan_reads_batch(
+    scheme: &DistScheme,
+    queries: &[&QueryRequest],
+    router: &dyn ScanRouter,
+    sim: &ClusterSim,
+    alive_only: bool,
+) -> Vec<RouteOutcome> {
+    // Fragment ids are dense scheme indices; a flat size table replaces the
+    // old per-query HashMap on this hot path.
+    let mut sizes: Vec<u64> = vec![0; scheme.fragments().len()];
+    let mut scans: Vec<Vec<FragmentRequest>> = Vec::with_capacity(queries.len());
+    let mut dead = vec![false; queries.len()];
+    for (qi, query) in queries.iter().enumerate() {
+        match live_requests(scheme, query, sim, alive_only) {
+            Some(requests) => {
+                for r in &requests {
+                    sizes[r.fragment.index()] = r.size;
+                }
+                scans.push(requests);
+            }
+            None => {
+                // A dead query contributes an empty scan (routes to an empty
+                // assignment list, touching no queues) and stays Dead below.
+                dead[qi] = true;
+                scans.push(Vec::new());
+            }
+        }
+    }
+    let lens: Vec<usize> = scans.iter().map(Vec::len).collect();
+    let mut queues = QueueView::from_waits(sim.queue_waits());
+    let routed = {
+        let _route = nashdb_obs::span("route");
+        router.route_batch(scans, &mut queues)
+    };
+    let Ok(batch) = routed else {
+        nashdb_obs::counter_add("routing.unroutable_scans", queries.len() as u64);
+        return queries.iter().map(|_| RouteOutcome::Dead).collect();
+    };
+    batch
+        .into_iter()
+        .zip(lens)
+        .zip(&dead)
+        .map(|((assignments, expected), &is_dead)| {
+            if is_dead {
+                return RouteOutcome::Dead;
+            }
+            if assignments.len() != expected {
+                // A router that drops or invents requests produced an
+                // unusable plan; abandon the query rather than the run.
+                nashdb_obs::counter_add("routing.unroutable_scans", 1);
+                return RouteOutcome::Dead;
+            }
+            RouteOutcome::Reads(
+                assignments
+                    .iter()
+                    .map(|a| (a.node, sizes[a.fragment.index()]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// [`plan_reads_batch`] for a single query — the retry path, where failed
+/// queries are re-routed one at a time as their failure events arrive.
 fn plan_reads(
     scheme: &DistScheme,
     query: &QueryRequest,
@@ -75,44 +169,9 @@ fn plan_reads(
     sim: &ClusterSim,
     alive_only: bool,
 ) -> RouteOutcome {
-    let mut requests = scheme.requests_for_query(query);
-    if alive_only {
-        for r in &mut requests {
-            r.candidates.retain(|&n| sim.node_alive(n));
-            if r.candidates.is_empty() {
-                return RouteOutcome::Dead;
-            }
-        }
-    }
-    // Fragment ids are dense scheme indices; a flat size table replaces the
-    // old per-query HashMap on this hot path.
-    let mut sizes: Vec<u64> = vec![0; scheme.fragments().len()];
-    for r in &requests {
-        sizes[r.fragment.index()] = r.size;
-    }
-    let mut queues = QueueView::from_waits(sim.queue_waits());
-    let assignments = {
-        let _route = nashdb_obs::span("route");
-        // Scheme construction guarantees every fragment has a replica (and
-        // `alive_only` already returned `Dead` if crashes broke that), so an
-        // unroutable request is a driver bug — keep the historical
-        // fail-fast behavior.
-        match router.route(&requests, &mut queues) {
-            Ok(a) => a,
-            Err(e) => unreachable!("scheme left a request unroutable: {e}"),
-        }
-    };
-    assert_eq!(
-        assignments.len(),
-        requests.len(),
-        "router dropped or invented a request"
-    );
-    RouteOutcome::Reads(
-        assignments
-            .iter()
-            .map(|a| (a.node, sizes[a.fragment.index()]))
-            .collect(),
-    )
+    plan_reads_batch(scheme, &[query], router, sim, alive_only)
+        .pop()
+        .unwrap_or(RouteOutcome::Dead)
 }
 
 /// Runs `workload` end to end: the distributor computes an initial scheme at
@@ -134,7 +193,7 @@ pub fn run_workload(
 /// [`run_workload`] with a fault schedule injected. When a node crashes, the
 /// driver re-routes failed queries to surviving replicas (dropping dead
 /// candidates before routing); a query whose fragment has no live replica —
-/// or that has failed [`MAX_ATTEMPTS`] times — is abandoned and counted in
+/// or that has failed `MAX_ATTEMPTS` times — is abandoned and counted in
 /// [`Metrics::availability`]. With an empty schedule this is exactly
 /// [`run_workload`].
 pub fn run_workload_with_faults(
@@ -190,21 +249,39 @@ pub fn run_workload_with_faults(
     loop {
         match sim.next_event() {
             DriverEvent::QueryArrived { id, query } => {
+                // Arrivals sharing this event's timestamp (with no other
+                // driver event interleaved) are drained and routed as one
+                // batch: one queue snapshot, one router call. `route_batch`
+                // threads queue waits through the batch sequentially, so
+                // every query is assigned exactly as if routed alone the
+                // moment it arrived.
+                let mut batch = vec![(id, query)];
+                batch.extend(sim.take_coincident_arrivals());
                 let _query = nashdb_obs::span("query");
-                distributor.observe(&query);
-                match plan_reads(&scheme, &query, router, &sim, faults_active) {
-                    RouteOutcome::Reads(reads) => {
-                        if faults_active {
-                            inflight.insert(id, query);
+                for (_, q) in &batch {
+                    distributor.observe(q);
+                }
+                let queries: Vec<&QueryRequest> = batch.iter().map(|(_, q)| q).collect();
+                let outcomes = plan_reads_batch(&scheme, &queries, router, &sim, faults_active);
+                for ((qid, q), outcome) in batch.into_iter().zip(outcomes) {
+                    match outcome {
+                        RouteOutcome::Reads(reads) => {
+                            if faults_active {
+                                inflight.insert(qid, q);
+                            }
+                            if sim.dispatch(qid, &reads).is_err() {
+                                // Dispatch rejects only plans referencing
+                                // nodes the sim does not know — driver/sim
+                                // drift. Count it and abandon the query
+                                // instead of crashing the run.
+                                nashdb_obs::counter_add("cluster.dispatch_rejected", 1);
+                                inflight.remove(&qid);
+                                sim.abandon_query(qid);
+                            }
                         }
-                        let dispatched = sim.dispatch(id, &reads);
-                        assert!(
-                            dispatched.is_ok(),
-                            "driver dispatch rejected: {dispatched:?}"
-                        );
-                    }
-                    RouteOutcome::Dead => {
-                        sim.abandon_query(id);
+                        RouteOutcome::Dead => {
+                            sim.abandon_query(qid);
+                        }
                     }
                 }
             }

@@ -1,7 +1,7 @@
 //! Schedule-stress tests: drive `nashdb-par` under seeded adversarial
-//! thread timing and assert the crate's two load-bearing guarantees —
-//! item-order merge and panic propagation — hold no matter which worker
-//! finishes first.
+//! thread timing and assert the crate's load-bearing guarantees —
+//! item-order merge, panic propagation, and pool reuse — hold no matter
+//! which worker finishes first.
 //!
 //! Real nondeterminism comes from the OS scheduler; these tests *force*
 //! pessimal schedules instead of hoping for them: per-item sleeps drawn
@@ -10,9 +10,10 @@
 //! straggler every merge must wait for.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use nashdb_par::{fill, map, map_mut};
+use nashdb_par::{fill_with, map_mut_vec, map_vec, pool_stats};
 
 const ITEMS: usize = 256;
 
@@ -35,11 +36,11 @@ fn sleep_us(us: u64) {
 
 #[test]
 fn merge_order_survives_seeded_adversarial_timing() {
-    let items: Vec<u64> = (0..ITEMS as u64).collect();
-    let serial: Vec<u64> = items.iter().map(|&x| x * 7 + 3).collect();
+    let serial: Vec<u64> = (0..ITEMS as u64).map(|x| x * 7 + 3).collect();
     for seed in [1, 0xDEAD_BEEF, u64::MAX] {
         for min_chunk in [1, 3, 16] {
-            let got = map(&items, min_chunk, |i, &x| {
+            let items: Vec<u64> = (0..ITEMS as u64).collect();
+            let got = map_vec(items, min_chunk, move |i, x| {
                 sleep_us(lcg_delay_us(seed, i));
                 x * 7 + 3
             });
@@ -51,10 +52,10 @@ fn merge_order_survives_seeded_adversarial_timing() {
 #[test]
 fn merge_order_survives_reversed_completion() {
     // Delay grows with the item index *reversed*: the last chunk's items
-    // are the quickest, so workers complete in reverse spawn order and the
-    // merge must reorder every chunk.
+    // are the quickest, so workers complete in reverse dispatch order and
+    // the merge must reorder every chunk.
     let items: Vec<usize> = (0..ITEMS).collect();
-    let got = map(&items, 1, |i, &x| {
+    let got = map_vec(items.clone(), 1, |i, x| {
         sleep_us(((ITEMS - 1 - i) as u64 % 16) * 100);
         x
     });
@@ -66,7 +67,7 @@ fn merge_waits_for_a_single_straggler_first_worker() {
     // Worker 0 owns the lowest indices; making only those slow means every
     // other worker finishes long before the one whose results go first.
     let items: Vec<usize> = (0..ITEMS).collect();
-    let got = map(&items, 1, |i, &x| {
+    let got = map_vec(items.clone(), 1, |i, x| {
         if i < ITEMS / 8 {
             sleep_us(500);
         }
@@ -76,12 +77,13 @@ fn merge_waits_for_a_single_straggler_first_worker() {
 }
 
 #[test]
-fn map_mut_touches_each_item_exactly_once_under_stress() {
-    let mut items: Vec<u64> = vec![0; ITEMS];
-    let visits = AtomicUsize::new(0);
-    let out = map_mut(&mut items, 1, |i, slot| {
+fn map_mut_vec_touches_each_item_exactly_once_under_stress() {
+    let items: Vec<u64> = vec![0; ITEMS];
+    let visits = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&visits);
+    let (items, out) = map_mut_vec(items, 1, move |i, slot| {
         sleep_us(lcg_delay_us(7, i));
-        visits.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed);
         *slot += 1;
         i
     });
@@ -98,11 +100,11 @@ fn map_mut_touches_each_item_exactly_once_under_stress() {
 }
 
 #[test]
-fn fill_is_identical_across_schedules_and_granularities() {
+fn fill_with_is_identical_across_schedules_and_granularities() {
     let reference: Vec<u64> = (0..ITEMS as u64).map(|i| i * i).collect();
     for seed in [3, 99] {
         for min_chunk in [1, 8, usize::MAX] {
-            let got = fill(ITEMS, min_chunk, |i| {
+            let got = fill_with(ITEMS, min_chunk, move |i| {
                 sleep_us(lcg_delay_us(seed, i));
                 (i * i) as u64
             });
@@ -114,11 +116,10 @@ fn fill_is_identical_across_schedules_and_granularities() {
 #[test]
 fn panic_payload_survives_fanout_with_live_siblings() {
     // The panicking item sits mid-range while sibling workers are still
-    // sleeping, so propagation must work with the scope still active; the
+    // sleeping, so propagation must work with the pool still busy; the
     // payload string must arrive intact on the caller.
-    let items: Vec<usize> = (0..ITEMS).collect();
     let result = std::panic::catch_unwind(|| {
-        map(&items, 1, |i, &x| {
+        map_vec((0..ITEMS).collect::<Vec<_>>(), 1, |i, x: usize| {
             sleep_us(lcg_delay_us(11, i));
             assert!(i != ITEMS / 2, "boom at {i}");
             x
@@ -137,13 +138,40 @@ fn panic_payload_survives_fanout_with_live_siblings() {
 }
 
 #[test]
+fn pool_survives_a_panicking_round_and_keeps_serving() {
+    // A panic inside a chunk must not kill the worker thread that ran it:
+    // the pool has to keep answering later rounds with zero fresh spawns.
+    let _ = std::panic::catch_unwind(|| {
+        map_vec((0..ITEMS).collect::<Vec<_>>(), 1, |i, x: usize| {
+            assert!(i != 3, "poisoning attempt at {i}");
+            x
+        })
+    });
+    let spawned_after_panic = pool_stats().threads_spawned;
+    let reference: Vec<usize> = (0..ITEMS).map(|x| x + 1).collect();
+    for round in 0..4u64 {
+        let got = map_vec((0..ITEMS).collect::<Vec<_>>(), 1, move |i, x| {
+            sleep_us(lcg_delay_us(round, i) / 5);
+            x + 1
+        });
+        assert_eq!(got, reference, "round {round} after the panic diverged");
+    }
+    assert_eq!(
+        pool_stats().threads_spawned,
+        spawned_after_panic,
+        "a panicking chunk must not cost worker threads"
+    );
+}
+
+#[test]
 fn repeated_rounds_stay_deterministic() {
     // The pipeline's byte-identical-replay contract, in miniature: many
     // fan-out rounds with scheduler-perturbing sleeps must all agree.
-    let items: Vec<u64> = (0..ITEMS as u64).collect();
-    let reference = map(&items, 1, |_, &x| x.wrapping_mul(0x9E37_79B9));
+    let reference = map_vec((0..ITEMS as u64).collect::<Vec<_>>(), 1, |_, x| {
+        x.wrapping_mul(0x9E37_79B9)
+    });
     for round in 0..8u64 {
-        let got = map(&items, 1, |i, &x| {
+        let got = map_vec((0..ITEMS as u64).collect::<Vec<_>>(), 1, move |i, x| {
             sleep_us(lcg_delay_us(round, i) / 5);
             x.wrapping_mul(0x9E37_79B9)
         });

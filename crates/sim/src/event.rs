@@ -115,6 +115,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.at)
     }
 
+    /// The next event — timestamp and a borrow of its payload — without
+    /// popping it or advancing the clock. Lets callers batch coincident
+    /// events: inspect the head, and only pop when it belongs to the batch.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|s| (s.at, &s.payload))
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let s = self.heap.pop()?;
@@ -196,5 +203,21 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn peek_exposes_the_head_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.schedule(SimTime::from_secs(2), "later");
+        q.schedule(SimTime::from_secs(1), "first");
+        q.schedule(SimTime::from_secs(1), "second");
+        // FIFO tie-break is visible through peek, and peek neither pops
+        // nor advances the clock.
+        assert_eq!(q.peek(), Some((SimTime::from_secs(1), &"first")));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "first")));
+        assert_eq!(q.peek(), Some((SimTime::from_secs(1), &"second")));
     }
 }

@@ -102,6 +102,20 @@ fn driver_spans_nest_and_account() {
     assert_eq!(query.child_ns, route.total_ns);
 }
 
+/// Two same-seed driver runs — batched arrivals, routed through
+/// `route_batch` over the persistent pool — must leave byte-identical
+/// scrubbed snapshots: every counter, histogram, and span count is a pure
+/// function of the seed, whatever the host's core count.
+#[test]
+fn same_seed_runs_leave_byte_identical_scrubbed_snapshots() {
+    let snapshot = || {
+        let mut snap = run_under_session();
+        snap.scrub_timings();
+        snap.to_json_string()
+    };
+    assert_eq!(snapshot(), snapshot());
+}
+
 #[test]
 fn snapshot_round_trips_through_schema() {
     let mut snap = run_under_session();

@@ -47,6 +47,44 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
     })
 }
 
+/// A whole batch of scans over one node universe: mixed scan sizes
+/// (including empty scans) with globally distinct fragment ids, the
+/// precondition under which the incremental router is exact.
+fn arb_batch() -> impl Strategy<Value = (Vec<Vec<FragmentRequest>>, Vec<u64>)> {
+    (2usize..10).prop_flat_map(|nodes| {
+        let scans = proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    1u64..100_000,
+                    proptest::collection::hash_set(0..nodes as u64, 1..=nodes),
+                ),
+                0..8,
+            ),
+            1..25,
+        );
+        let waits = proptest::collection::vec(0u64..1_000_000, nodes..=nodes);
+        (scans, waits).prop_map(|(scans, waits)| {
+            let mut next = 0u64;
+            let scans = scans
+                .into_iter()
+                .map(|reqs| {
+                    reqs.into_iter()
+                        .map(|(size, cands)| {
+                            next += 1;
+                            FragmentRequest {
+                                fragment: FragmentId(next),
+                                size,
+                                candidates: cands.into_iter().map(NodeId).collect(),
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            (scans, waits)
+        })
+    })
+}
+
 fn check_router(router: &dyn ScanRouter, p: &Problem) -> Result<(), TestCaseError> {
     let mut queues = QueueView::from_waits(p.waits.clone());
     let out: Vec<Assignment> = match router.route(&p.requests, &mut queues) {
@@ -117,6 +155,43 @@ proptest! {
         for n in 0..p.waits.len() {
             let n = NodeId(n as u64);
             prop_assert_eq!(fast_q.wait(n), ref_q.wait(n));
+        }
+    }
+
+    /// Batched routing is an exact optimization of per-scan routing: for
+    /// any batch (varied ϕ, scan count, empty scans, candidate lists,
+    /// pre-loaded queues) `route_batch` produces the same per-scan
+    /// assignments, in the same order, with the same final queue state as
+    /// sequential `route` calls, the naive Eq. 11 reference loop, and the
+    /// pre-batching per-scan incremental reference.
+    #[test]
+    fn route_batch_matches_sequential_and_reference(
+        (scans, waits) in arb_batch(),
+        phi in 0u64..200_000,
+    ) {
+        let router = MaxOfMins::new(phi);
+        let mut q_batch = QueueView::from_waits(waits.clone());
+        let batch = router.route_batch(scans.clone(), &mut q_batch).unwrap();
+        let mut q_seq = QueueView::from_waits(waits.clone());
+        let seq: Vec<Vec<Assignment>> = scans
+            .iter()
+            .map(|s| router.route(s, &mut q_seq).unwrap())
+            .collect();
+        let mut q_ref = QueueView::from_waits(waits.clone());
+        let naive = reference::max_of_mins_batch(phi, &scans, &mut q_ref).unwrap();
+        let mut q_old = QueueView::from_waits(waits.clone());
+        let per_scan: Vec<Vec<Assignment>> = scans
+            .iter()
+            .map(|s| reference::incremental_per_scan(phi, s, &mut q_old).unwrap())
+            .collect();
+        prop_assert_eq!(&batch, &seq, "phi {}", phi);
+        prop_assert_eq!(&batch, &naive, "phi {}", phi);
+        prop_assert_eq!(&batch, &per_scan, "phi {}", phi);
+        for n in 0..waits.len() {
+            let n = NodeId(n as u64);
+            prop_assert_eq!(q_batch.wait(n), q_seq.wait(n));
+            prop_assert_eq!(q_batch.wait(n), q_ref.wait(n));
+            prop_assert_eq!(q_batch.wait(n), q_old.wait(n));
         }
     }
 
